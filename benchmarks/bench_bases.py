@@ -1,0 +1,26 @@
+"""EXT-BASES — sizing the base-station count (paper says "base stations").
+
+Expected shape: at a below-design sensor density, adding base stations
+strictly reduces mean and worst-case hop counts and raises the fraction
+of sensors that can deliver a report within one sensing period.
+"""
+
+from benchmarks.conftest import bench_seed
+from repro.experiments.figures import multi_base_experiment
+
+
+def test_multi_base(benchmark, emit_record):
+    record = benchmark.pedantic(
+        multi_base_experiment,
+        kwargs={"seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    rows = sorted(record.rows, key=lambda r: r["base_stations"])
+    mean_hops = [row["mean_hops"] for row in rows]
+    deliverable = [row["deliverable_fraction"] for row in rows]
+    assert mean_hops == sorted(mean_hops, reverse=True)
+    assert deliverable == sorted(deliverable)
+    assert rows[-1]["max_hops"] <= rows[0]["max_hops"]

@@ -1,0 +1,28 @@
+"""EXT-BND — boundary-mode ablation (DESIGN.md deviation #2).
+
+The analysis assumes an unbounded field.  This ablation quantifies the
+edge effect the paper's simulation setup leaves implicit: on a torus the
+assumption holds exactly; with clipping, tracks that exit the field lose
+coverage and detection probability drops slightly.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import boundary_ablation
+
+
+def test_boundary_ablation(benchmark, emit_record):
+    record = benchmark.pedantic(
+        boundary_ablation,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    noise = 3.0 / bench_trials() ** 0.5
+    for row in record.rows:
+        # Torus and interior both satisfy the uniform-density assumption.
+        assert abs(row["torus"] - row["analysis"]) <= noise + 0.01, row
+        assert abs(row["interior"] - row["torus"]) <= 2 * noise + 0.01, row
+        # Clipping can only lose detections.
+        assert row["clip"] <= row["torus"] + noise, row

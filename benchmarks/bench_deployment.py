@@ -1,0 +1,29 @@
+"""EXT-DEPLOY — deployment-strategy sensitivity of the uniform model.
+
+Section 2 assumes uniform random deployment "primarily for ease of
+analysis".  Expected shape: uniform simulation matches the model; a
+perfect grid deviates (planned placement changes the coverage process);
+jitter moves the grid back toward the uniform prediction.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import deployment_ablation
+
+
+def test_deployment_ablation(benchmark, emit_record):
+    record = benchmark.pedantic(
+        deployment_ablation,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    noise = 3.0 / bench_trials() ** 0.5
+    rows = {row["deployment"]: row for row in record.rows}
+    assert rows["uniform"]["deviation_from_model"] <= noise + 0.01
+    # Heavy jitter washes out grid structure.
+    assert (
+        rows["grid (jitter 2000 m)"]["deviation_from_model"]
+        <= rows["grid (jitter 0 m)"]["deviation_from_model"] + noise
+    )

@@ -1,0 +1,27 @@
+"""EXT-DRIFT — sensor drift (the paper's Sec. 2 undersea justification).
+
+Expected shape: detection probability is invariant to drift magnitude
+under both torus wrapping (exact: uniform + wrapped i.i.d. drift is
+uniform) and reflection (reflection also preserves the uniform density) —
+making precise the paper's argument that ocean-flow drift keeps undersea
+deployments uniformly random rather than degrading them.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import drift_experiment
+
+
+def test_drift_invariance(benchmark, emit_record):
+    record = benchmark.pedantic(
+        drift_experiment,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    noise = 3.0 / bench_trials() ** 0.5
+    analysis = record.parameters["analysis"]
+    for row in record.rows:
+        assert abs(row["torus"] - analysis) <= noise + 0.01, row
+        assert abs(row["reflect"] - analysis) <= noise + 0.01, row

@@ -1,0 +1,29 @@
+"""EXT-DUTY — duty-cycled sensing: folded analysis vs explicit schedules.
+
+The node-scheduling related work ([13]-[20]) the paper contrasts with
+sleeps sensors to extend lifetime.  Expected shape: under random
+independent schedules the duty cycle folds exactly into ``Pd``, so the
+folded analysis matches the explicit-sleep simulation at every duty
+cycle, and detection decays as lifetime extends.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import duty_cycle_experiment
+
+
+def test_duty_cycle(benchmark, emit_record):
+    record = benchmark.pedantic(
+        duty_cycle_experiment,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    tolerance = max(0.01, 2.0 / bench_trials() ** 0.5)
+    for row in record.rows:
+        assert row["abs_error"] <= tolerance, row
+    # Detection decays monotonically as the network sleeps more.
+    ordered = sorted(record.rows, key=lambda r: r["duty_cycle"])
+    values = [row["analysis"] for row in ordered]
+    assert values == sorted(values)

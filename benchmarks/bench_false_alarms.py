@@ -1,0 +1,26 @@
+"""EXT-FA — minimum safe threshold k under a false alarm model (Section 6).
+
+The paper defers this to future work; we reproduce the design table a
+deployer needs: for each per-node false alarm probability, the smallest k
+whose per-window system false alarm probability stays within budget, and
+the implied mean time between system false alarms.
+"""
+
+from repro.experiments.figures import false_alarm_table
+
+
+def test_false_alarm_thresholds(benchmark, emit_record):
+    record = benchmark.pedantic(false_alarm_table, rounds=1, iterations=1)
+    emit_record(record)
+
+    thresholds = record.column("min_threshold")
+    assert thresholds == sorted(thresholds)
+    for row in record.rows:
+        assert row["window_probability"] <= record.parameters[
+            "max_window_probability"
+        ]
+        assert row["hours_between_system_fa"] > 100.0
+    # The paper's k = 5 rule corresponds to a noticeable per-node noise
+    # level: at pf = 1e-3 the safe threshold is in the single digits.
+    row_1e3 = [r for r in record.rows if r["false_alarm_prob"] == 1e-3][0]
+    assert 2 <= row_1e3["min_threshold"] <= 20

@@ -1,0 +1,28 @@
+"""FIG8 — required truncation values g, gh (M-S) and G (S) vs node count.
+
+Paper reference: Figure 8.  Expected shape: all three grow with N and
+``G >> gh >= g`` throughout (the S-approach needs far more of the
+occupancy distribution because the ARegion is M times larger than a NEDR).
+"""
+
+from repro.experiments.figures import fig8_required_truncation
+
+
+def test_fig8_required_truncation(benchmark, emit_record):
+    record = benchmark.pedantic(
+        fig8_required_truncation, rounds=1, iterations=1
+    )
+    emit_record(record)
+
+    g_values = record.column("g")
+    gh_values = record.column("gh")
+    big_g_values = record.column("G")
+    # The paper's qualitative claims.
+    for g, gh, big_g in zip(g_values, gh_values, big_g_values):
+        assert g <= gh < big_g
+    assert g_values == sorted(g_values)
+    assert gh_values == sorted(gh_values)
+    assert big_g_values == sorted(big_g_values)
+    # "such as 6 or more" makes the S-approach infeasible: by N = 240 the
+    # required G is well past that.
+    assert big_g_values[-1] >= 10

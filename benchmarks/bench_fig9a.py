@@ -1,0 +1,40 @@
+"""FIG9A — detection probability, analysis vs simulation (straight line).
+
+Paper reference: Figure 9(a).  Expected shape: the two curves coincide
+(paper: "extremely accurate"); detection probability increases with N; the
+V = 10 m/s curve lies above the V = 4 m/s curve (faster targets sweep more
+covered area per window).
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import fig9a_straight_line
+
+
+def test_fig9a_straight_line(benchmark, emit_record):
+    record = benchmark.pedantic(
+        fig9a_straight_line,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    # Analysis tracks simulation at every point.  Tolerance scales with the
+    # configured trial count (3-sigma of a binomial proportion ~ 1.5/sqrt).
+    tolerance = max(0.01, 1.5 / bench_trials() ** 0.5)
+    for row in record.rows:
+        assert abs(row["analysis"] - row["simulation"]) <= tolerance, row
+
+    # Monotone in N for each speed; V=10 dominates V=4.
+    by_speed = {}
+    for row in record.rows:
+        by_speed.setdefault(row["speed"], []).append(
+            (row["num_sensors"], row["analysis"])
+        )
+    for speed, series in by_speed.items():
+        values = [v for _, v in sorted(series)]
+        assert values == sorted(values), speed
+    slow = dict((n, v) for n, v in by_speed[4.0])
+    fast = dict((n, v) for n, v in by_speed[10.0])
+    for n in slow:
+        assert fast[n] > slow[n]

@@ -1,0 +1,27 @@
+"""FIG9C — random-walk target vs straight-line analysis.
+
+Paper reference: Figure 9(c).  Expected shape: the straight-line analysis
+stays close to the random-walk simulation (paper: max error 2.4%) and is
+biased *high* — direction changes shrink the effective ARegion, so the real
+detection probability is slightly lower than the straight-line model's.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import fig9c_random_walk
+
+
+def test_fig9c_random_walk(benchmark, emit_record):
+    record = benchmark.pedantic(
+        fig9c_random_walk,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    noise = 2.0 / bench_trials() ** 0.5
+    for row in record.rows:
+        # Close...
+        assert row["abs_error"] <= 0.03 + noise, row
+        # ...and biased high (analysis >= simulation, up to noise).
+        assert row["analysis"] >= row["simulation"] - noise, row

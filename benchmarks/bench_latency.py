@@ -1,0 +1,33 @@
+"""EXT-LAT — detection latency: exact first-passage analysis vs simulation.
+
+An extension beyond the paper's window-level detection probability: the
+distribution of *when* the k-th report arrives.  The analysis is exact
+under the model assumptions, so it must match the simulator's per-trial
+first-crossing statistics to sampling error.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import detection_latency_experiment
+
+
+def test_detection_latency(benchmark, emit_record):
+    record = benchmark.pedantic(
+        detection_latency_experiment,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    # Latency spread is ~5 periods; 3-sigma of the conditional mean.
+    tolerance = 0.1 + 15.0 / bench_trials() ** 0.5
+    for row in record.rows:
+        gap = abs(row["mean_latency_analysis"] - row["mean_latency_sim"])
+        assert gap < tolerance, row
+        # The p90 column is "-" when the window detection probability
+        # never reaches 90% (e.g. N = 120).
+        if isinstance(row["p90_periods"], int):
+            assert row["median_periods"] <= row["p90_periods"]
+    # More sensors detect sooner.
+    means = record.column("mean_latency_analysis")
+    assert means == sorted(means, reverse=True)

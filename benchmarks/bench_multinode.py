@@ -1,0 +1,29 @@
+"""EXT-H — the ">= k reports from >= h nodes" extension (end of Section 4).
+
+The paper sketches the state-space enlargement but reports no numbers; the
+reproducible claims are: h = 1 reduces to the base rule, the detection
+probability is non-increasing in h, and analysis matches simulation.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import multinode_experiment
+
+
+def test_multinode_rule(benchmark, emit_record):
+    record = benchmark.pedantic(
+        multinode_experiment,
+        kwargs={
+            "min_nodes_values": (1, 2, 3, 4),
+            "trials": bench_trials(),
+            "seed": bench_seed(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    tolerance = max(0.02, 2.0 / bench_trials() ** 0.5)
+    analysis = record.column("analysis")
+    for row in record.rows:
+        assert row["abs_error"] <= tolerance, row
+    assert analysis == sorted(analysis, reverse=True)

@@ -1,0 +1,33 @@
+"""EXT-NETLOSS — detection when undeliverable reports are lost.
+
+The paper argues connectivity is a non-issue at the ONR parameters
+(Section 4).  Expected shape: with the 6 km communication range the loss
+from dropping disconnected sensors' reports is negligible at and above
+design density, and grows as the network thins below it — putting a number
+on the sparse-networks premise "communication coverage is available".
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import network_loss_experiment
+
+
+def test_network_loss(benchmark, emit_record):
+    trials = min(bench_trials(), 5_000)  # connectivity check is per-trial
+    record = benchmark.pedantic(
+        network_loss_experiment,
+        kwargs={"trials": trials, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    noise = 3.0 / trials**0.5
+    for row in record.rows:
+        # Losing reports can only hurt.
+        assert row["lossy_delivery"] <= row["ideal_delivery"] + noise, row
+        if row["num_sensors"] >= 120:
+            # At design density the connectivity premise costs ~nothing.
+            assert row["delivery_loss"] <= 0.02 + noise, row
+    losses = record.column("delivery_loss")
+    # The loss shrinks as the network densifies.
+    assert losses[0] >= losses[-1] - noise

@@ -1,0 +1,80 @@
+"""RT1 — execution cost: S-approach explosion vs the 1-minute M-S-approach.
+
+Paper reference: Section 3.4.5 ("we convert a computationally infeasible
+solution into a quick solution"; S-approach runs "for many days", the
+M-S-approach finishes "within one minute").
+
+Absolute times are hardware-bound; the reproducible claims are the shapes:
+the literal Algorithm 1 cost multiplies by roughly ``(ms + 1) * poly`` per
+unit of G (so the required G is out of reach), while the M-S-approach at
+the paper's ``gh = g = 3`` finishes in well under a second here.
+"""
+
+import time
+
+from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.core.spatial import SApproach
+from repro.experiments.figures import runtime_comparison
+from repro.experiments.presets import onr_scenario
+
+
+def test_runtime_comparison_table(benchmark, emit_record):
+    record = benchmark.pedantic(runtime_comparison, rounds=1, iterations=1)
+    emit_record(record)
+
+    naive_rows = [
+        row
+        for row in record.rows
+        if row["method"].startswith("S-approach") and row["note"] == "measured"
+    ]
+    assert len(naive_rows) >= 2
+    times = [row["seconds"] for row in naive_rows]
+    # Strictly exploding cost per unit of truncation.
+    assert times == sorted(times)
+    assert times[-1] > 5 * times[-2] or times[-1] < 0.01
+
+    projected = [
+        row
+        for row in record.rows
+        if row["method"].startswith("S-approach") and "extrapolated" in row["note"]
+    ]
+    ms_rows = [row for row in record.rows if row["method"] == "M-S-approach"]
+    assert ms_rows[0]["seconds"] < 60.0  # "within 1 minute", with margin
+    if projected:
+        # The required-G projection dwarfs the M-S time by orders of magnitude.
+        assert projected[0]["seconds"] > 1000 * ms_rows[0]["seconds"]
+
+
+def test_ms_approach_speed(benchmark):
+    """The M-S-approach itself: the paper's headline 'one minute' quantity."""
+    scenario = onr_scenario(num_sensors=240, speed=10.0)
+
+    def run():
+        return MarkovSpatialAnalysis(scenario, 3).detection_probability()
+
+    result = benchmark(run)
+    assert 0.0 < result < 1.0
+
+
+def test_naive_s_approach_growth_curve(emit_record):
+    """Measure the literal Algorithm 1 at growing G on the slow-target
+    scenario (ms = 9), where the blow-up is steepest."""
+    from repro.experiments.records import ExperimentRecord
+
+    scenario = onr_scenario(num_sensors=240, speed=4.0)
+    record = ExperimentRecord(
+        experiment_id="RT1-GROWTH",
+        title="Algorithm 1 cost vs truncation G (ms = 9)",
+        parameters={"num_sensors": 240, "speed": 4.0},
+    )
+    previous = None
+    for g in (1, 2, 3):
+        start = time.perf_counter()
+        SApproach(scenario, max_sensors=g).report_count_pmf(naive=True)
+        elapsed = time.perf_counter() - start
+        growth = elapsed / previous if previous else float("nan")
+        record.add_row(truncation=g, seconds=elapsed, growth_factor=growth)
+        previous = elapsed
+    emit_record(record)
+    # Each +1 of G multiplies work by ~(ms + 1) tuples (x10 here).
+    assert record.rows[-1]["growth_factor"] > 3.0

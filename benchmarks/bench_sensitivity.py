@@ -1,0 +1,49 @@
+"""EXT-SENS / EXT-RULE — designer-facing analysis artifacts.
+
+Both are analysis-only (no Monte Carlo), demonstrating the paper's closing
+claim: the model answers design questions in milliseconds.  Expected
+shapes: every elasticity is positive (more range/sensors/quality/speed all
+help); sensing range dominates; on the rule plane detection decreases in
+``k`` and increases in ``M`` while false alarms move the other way.
+"""
+
+from repro.experiments.figures import rule_design_experiment, sensitivity_experiment
+
+
+def test_sensitivity(benchmark, emit_record):
+    record = benchmark.pedantic(sensitivity_experiment, rounds=1, iterations=1)
+    emit_record(record)
+
+    for row in record.rows:
+        for column in (
+            "e_sensing_range",
+            "e_num_sensors",
+            "e_detect_prob",
+            "e_target_speed",
+        ):
+            assert row[column] > 0.0, (column, row)
+        # Range is the strongest knob at every operating point.
+        assert row["e_sensing_range"] >= row["e_num_sensors"]
+        # Loosening the window helps, raising the threshold hurts.
+        assert row["window_plus_one"] >= 0.0
+        assert row["threshold_plus_one"] <= 0.0
+    # Elasticities shrink as the curve saturates (high N).
+    first, last = record.rows[0], record.rows[-1]
+    assert last["e_num_sensors"] < first["e_num_sensors"]
+
+
+def test_rule_design_plane(benchmark, emit_record):
+    record = benchmark.pedantic(rule_design_experiment, rounds=1, iterations=1)
+    emit_record(record)
+
+    cells = {(row["window"], row["threshold"]): row for row in record.rows}
+    windows = sorted({w for w, _ in cells})
+    thresholds = sorted({k for _, k in cells})
+    for window in windows:
+        values = [cells[(window, k)]["detection"] for k in thresholds]
+        assert values == sorted(values, reverse=True), window
+        alarms = [cells[(window, k)]["window_false_alarm"] for k in thresholds]
+        assert alarms == sorted(alarms, reverse=True), window
+    for threshold in thresholds:
+        values = [cells[(w, threshold)]["detection"] for w in windows]
+        assert values == sorted(values), threshold

@@ -1,0 +1,28 @@
+"""EXT-TRACK — track estimation quality from detection reports.
+
+Beyond the paper's scope (detection only), but directly downstream of it:
+the track the reports "map to".  Expected shape: cross-track error well
+below the sensing range (reports localise to within ``Rs = 1000 m``),
+heading within a few degrees, improving with node count.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import tracking_experiment
+
+
+def test_tracking_quality(benchmark, emit_record):
+    episodes = max(100, bench_trials() // 20)
+    record = benchmark.pedantic(
+        tracking_experiment,
+        kwargs={"episodes": episodes, "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    for row in record.rows:
+        assert row["median_cross_track_m"] < 1000.0, row  # below Rs
+        assert row["median_heading_deg"] < 20.0, row
+        assert row["median_speed_err"] < 3.0, row
+    fractions = record.column("estimable_fraction")
+    assert fractions == sorted(fractions)  # denser -> more estimable episodes

@@ -1,0 +1,55 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TRIALS`` — Monte Carlo trials per configuration (default
+  2000 for fast benchmark runs; the paper and EXPERIMENTS.md use 10000).
+* ``REPRO_BENCH_SEED`` — simulation seed (default 20080617).
+* ``REPRO_BENCH_RESULTS`` — directory to write JSON experiment records
+  (default ``benchmarks/results``).
+
+Every benchmark prints its regenerated table (run pytest with ``-s`` to see
+them inline) and writes the JSON record unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.tables import render_table
+
+
+def bench_trials() -> int:
+    """Monte Carlo trials per configuration for benchmark runs."""
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "2000"))
+
+
+def bench_seed() -> int:
+    """Simulation seed for benchmark runs."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "20080617"))
+
+
+@pytest.fixture
+def emit_record():
+    """Print an ExperimentRecord as a table and persist it as JSON."""
+
+    def emit(record: ExperimentRecord) -> None:
+        rows = [[row.get(col) for col in record.columns] for row in record.rows]
+        print()
+        print(f"[{record.experiment_id}] {record.title}")
+        print(render_table(record.columns, rows))
+        results_dir = pathlib.Path(
+            os.environ.get(
+                "REPRO_BENCH_RESULTS",
+                pathlib.Path(__file__).parent / "results",
+            )
+        )
+        results_dir.mkdir(parents=True, exist_ok=True)
+        path = results_dir / f"{record.experiment_id.lower()}.json"
+        path.write_text(record.to_json())
+
+    return emit

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Border monitoring with an online group detector.
+
+The paper's other motivating application: sparse cameras along a border,
+watching for crossers on foot (~1.5 m/s) while individual cameras false
+alarm on animals and weather.  This example runs the *online* pipeline a
+deployed base station would execute, period by period:
+
+1. sensors produce detection reports (real target + false alarms),
+2. reports stream into a :class:`GroupDetector` with a speed-gate track
+   filter ("can these reports be one moving crosser?"),
+3. the detector raises a system-level alarm only for track-consistent
+   report sequences — scattered false alarms are filtered out.
+
+Run:
+    python examples/border_monitoring.py
+"""
+
+import numpy as np
+
+from repro import Scenario, SensorField
+from repro.detection import GroupDetector, SpeedGateTrackFilter
+from repro.simulation.streams import simulate_report_stream
+from repro.simulation.targets import StraightLineTarget
+
+FALSE_ALARM_PROB = 5e-4  # per camera, per period
+
+
+def build_scenario() -> Scenario:
+    # A 20 km x 1 km border strip, 150 cameras with 150 m night-time range,
+    # one-minute sensing periods, intruder moving along the strip at 1.5 m/s.
+    return Scenario(
+        field=SensorField(20_000.0, 1_000.0),
+        num_sensors=150,
+        sensing_range=150.0,
+        target_speed=1.5,
+        sensing_period=60.0,
+        detect_prob=0.85,
+        window=30,
+        threshold=4,
+    )
+
+
+def run_episode(
+    scenario: Scenario, with_target: bool, seed: int, use_filter: bool = True
+) -> list:
+    """One surveillance episode; returns the periods where the alarm fired."""
+    episode = simulate_report_stream(
+        scenario,
+        rng=seed,
+        target=StraightLineTarget(scenario.target_speed, heading=0.0),
+        target_present=with_target,
+        false_alarm_prob=FALSE_ALARM_PROB,
+        start=np.array([2_000.0, scenario.field.height / 2]),
+    )
+
+    gate = SpeedGateTrackFilter(
+        max_speed=2.0 * scenario.target_speed,  # design margin
+        sensing_range=scenario.sensing_range,
+        period_length=scenario.sensing_period,
+    )
+    detector = GroupDetector(
+        window=scenario.window,
+        threshold=scenario.threshold,
+        min_nodes=2,
+        track_filter=gate if use_filter else None,
+    )
+    detector.process_stream(episode.stream())
+    return detector.detection_periods
+
+
+def main() -> None:
+    scenario = build_scenario()
+    print("Scenario:", scenario.describe())
+    print(f"Per-camera false alarm probability: {FALSE_ALARM_PROB:.3%} per period\n")
+
+    episodes = 30
+    counts = {}
+    for use_filter in (True, False):
+        detected = sum(
+            bool(run_episode(scenario, True, seed, use_filter))
+            for seed in range(episodes)
+        )
+        quiet = sum(
+            bool(run_episode(scenario, False, 10_000 + seed, use_filter))
+            for seed in range(episodes)
+        )
+        counts[use_filter] = (detected, quiet)
+
+    print(f"{'':>28}{'crosser present':>18}{'noise only':>13}")
+    with_f = counts[True]
+    without_f = counts[False]
+    print(f"{'with track filter':>28}{with_f[0]:>14}/30{with_f[1]:>10}/30")
+    print(f"{'without track filter':>28}{without_f[0]:>14}/30{without_f[1]:>10}/30")
+    print("\nThe speed-gated group rule keeps scattered camera noise from")
+    print("triggering the system alarm while still catching the crosser —")
+    print("counting raw reports (no track mapping) false-alarms far more")
+    print("often, which is why the paper's rule only counts sequences that")
+    print("'map to a possible target track'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Two submarines at once: detection, separation, and track recovery.
+
+The paper analyses one target at a time and notes the analysis "still
+holds per target" when targets are far apart.  This example runs the full
+multi-target pipeline on one episode:
+
+1. simulate two targets crossing the field simultaneously,
+2. split the merged report stream into track candidates with the
+   speed-gate clusterer,
+3. fit a track estimate to each cluster and compare against the truth.
+
+Run:
+    python examples/multi_target_demo.py
+"""
+
+import numpy as np
+
+from repro import onr_scenario
+from repro.detection import SpeedGateTrackFilter
+from repro.experiments.fieldmap import render_field
+from repro.simulation.streams import simulate_multi_target_stream
+from repro.tracking import cluster_reports, cross_track_rmse, estimate_track
+
+
+def main() -> None:
+    scenario = onr_scenario(num_sensors=240, speed=10.0)
+    print("Scenario:", scenario.describe(), "\n")
+
+    # Two targets entering from opposite corners.
+    starts = np.array([[4_000.0, 4_000.0], [28_000.0, 28_000.0]])
+    headings = np.array([np.pi / 4.0, 5.0 * np.pi / 4.0])
+    episode = simulate_multi_target_stream(
+        scenario, starts, rng=2026, headings=headings, false_alarm_prob=1e-4
+    )
+
+    reporters = sorted({r.node_id for _, rs in episode.stream() for r in rs})
+    print(render_field(
+        scenario.field,
+        episode.sensor_positions,
+        waypoints=[episode.waypoints[0], episode.waypoints[1]],
+        reporter_ids=reporters,
+    ))
+    print()
+    print(f"Reports generated: {episode.per_target_report_counts[0]} from "
+          f"target A, {episode.per_target_report_counts[1]} from target B, "
+          f"{episode.false_report_count} false alarms")
+    detected = episode.detected_targets()
+    print(f"k-of-M rule (k={scenario.threshold}): targets detected -> "
+          f"{['A', 'B', 'both'][2] if len(detected) == 2 else detected}\n")
+
+    gate = SpeedGateTrackFilter(
+        max_speed=scenario.target_speed,
+        sensing_range=scenario.sensing_range,
+        period_length=scenario.sensing_period,
+    )
+    reports = [r for _, rs in episode.stream() for r in rs]
+    clusters = cluster_reports(reports, gate)
+    print(f"Speed-gate clustering found {len(clusters)} track candidates "
+          f"(sizes: {[len(c) for c in clusters]})")
+
+    truths = {0: episode.waypoints[0], 1: episode.waypoints[1]}
+    for index, cluster in enumerate(clusters[:2]):
+        estimate = estimate_track(cluster, scenario.sensing_period)
+        # Match the cluster to the nearer truth.
+        errors = {
+            t: cross_track_rmse(estimate, waypoints)
+            for t, waypoints in truths.items()
+        }
+        best = min(errors, key=errors.get)
+        print(f"  track {index + 1}: matched target {'AB'[best]}, "
+              f"cross-track RMSE {errors[best]:.0f} m, "
+              f"speed estimate {estimate.speed:.1f} m/s, "
+              f"heading {np.degrees(estimate.heading):.0f} deg")
+
+    print("\nWith 24 km between the targets the greedy clusterer separates")
+    print("the merged stream cleanly; bring them inside the speed gate's")
+    print("feasibility reach (~14 km here) and separation becomes ambiguous —")
+    print("the multi-target regime the paper's Section 6 defers to future work")
+    print("(quantified in EXPERIMENTS.md, EXT-MULTI).")
+
+
+if __name__ == "__main__":
+    main()

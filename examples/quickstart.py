@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: predict and validate group-based detection performance.
+
+The 60-second tour of the library on the paper's ONR undersea scenario:
+240 sensors with 1 km sensing range in a 32 x 32 km field, declaring a
+target when at least 5 detection reports arrive within 20 one-minute
+sensing periods.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ExactSpatialAnalysis,
+    MarkovSpatialAnalysis,
+    MonteCarloSimulator,
+    onr_scenario,
+)
+
+
+def main() -> None:
+    scenario = onr_scenario(num_sensors=240, speed=10.0)
+    print("Scenario:", scenario.describe())
+    print(f"Sensing coverage is sparse: the per-period detectable region is "
+          f"{scenario.dr_area / scenario.field_area:.2%} of the field.\n")
+
+    # 1. The paper's M-S-approach: milliseconds instead of "many days".
+    analysis = MarkovSpatialAnalysis(scenario, body_truncation=3)
+    p_analysis = analysis.detection_probability()
+    print(f"M-S-approach detection probability:   {p_analysis:.4f}")
+    print(f"  (captured probability mass eta_MS = "
+          f"{analysis.analysis_accuracy():.4f}, recovered by normalisation)")
+
+    # 2. The exact reference (same model, no truncation).
+    p_exact = ExactSpatialAnalysis(scenario).detection_probability()
+    print(f"Exact spatial oracle:                 {p_exact:.4f}")
+
+    # 3. Monte Carlo validation, as in Section 4 of the paper.
+    result = MonteCarloSimulator(scenario, trials=5000, seed=7).run()
+    low, high = result.confidence_interval()
+    print(f"Monte Carlo simulation (5000 trials): "
+          f"{result.detection_probability:.4f}  (95% CI [{low:.4f}, {high:.4f}])")
+
+    agreement = abs(p_analysis - result.detection_probability)
+    print(f"\nAnalysis vs simulation difference: {agreement:.4f} "
+          f"({'inside' if low <= p_analysis <= high else 'outside'} the CI)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Undersea surveillance design study.
+
+The paper's motivating application: undersea sensors cost thousands of
+dollars each, so a deployer wants the *smallest* sparse deployment meeting
+a detection requirement.  This example answers a realistic design brief:
+
+    "Detect a 10 m/s submarine crossing a 32 x 32 km area with >= 90%
+     probability within 20 minutes, with system false alarms rarer than
+     once a month, given sensors that false-alarm 0.1% of periods."
+
+using only the analytical model — no simulation sweeps — and then verifies
+the chosen design with one Monte Carlo run and a communication check.
+
+Run:
+    python examples/undersea_surveillance.py
+"""
+
+from repro import MarkovSpatialAnalysis, MonteCarloSimulator, onr_scenario
+from repro.core.false_alarms import (
+    expected_hours_between_false_alarms,
+    minimum_safe_threshold,
+)
+from repro.deployment import deploy_uniform
+from repro.experiments.presets import ONR_COMMUNICATION_RANGE
+from repro.network.graph import build_connectivity_graph
+from repro.network.latency import delivery_report
+
+REQUIRED_DETECTION = 0.90
+# Per sensor per one-minute period.  Note the order of magnitude matters
+# enormously: at 1e-3, a 240-node network generates ~5 false reports per
+# 20-minute window and a pure count-based rule needs k ~ 19, destroying
+# detection — that is precisely why the paper's group detection only counts
+# reports that "map to a possible target track".  Here we assume the track
+# filter (see repro.detection.SpeedGateTrackFilter) suppresses all but
+# ~1e-4 of node false alarms, the count-based budget below then covers the
+# residue.
+NODE_FALSE_ALARM_PROB = 1e-4
+MAX_FA_WINDOW_PROB = 1e-6
+TARGET_SPEED = 10.0
+WINDOW = 20
+
+
+def pick_threshold(num_sensors: int) -> int:
+    """Smallest k that keeps the system false alarm rate within budget."""
+    return minimum_safe_threshold(
+        num_sensors, WINDOW, NODE_FALSE_ALARM_PROB, MAX_FA_WINDOW_PROB
+    )
+
+
+def main() -> None:
+    print("Step 1: size the deployment with the M-S-approach")
+    print(f"{'N':>5} {'k_min':>6} {'P[detect]':>10} {'MTBFA (hours)':>14}")
+    chosen = None
+    for num_sensors in range(60, 301, 20):
+        threshold = pick_threshold(num_sensors)
+        scenario = onr_scenario(
+            num_sensors=num_sensors,
+            speed=TARGET_SPEED,
+            window=WINDOW,
+            threshold=threshold,
+        )
+        p_detect = MarkovSpatialAnalysis(scenario, 3).detection_probability()
+        hours = expected_hours_between_false_alarms(
+            num_sensors, WINDOW, NODE_FALSE_ALARM_PROB, threshold, 60.0
+        )
+        marker = ""
+        if chosen is None and p_detect >= REQUIRED_DETECTION:
+            chosen = scenario
+            marker = "  <- smallest deployment meeting the requirement"
+        print(f"{num_sensors:>5} {threshold:>6} {p_detect:>10.4f} "
+              f"{hours:>14.0f}{marker}")
+
+    if chosen is None:
+        print("\nNo deployment up to 300 sensors meets the requirement.")
+        return
+
+    print(f"\nChosen design: {chosen.describe()}")
+
+    print("\nStep 2: validate with Monte Carlo (5000 trials)")
+    result = MonteCarloSimulator(chosen, trials=5000, seed=11).run()
+    low, high = result.confidence_interval()
+    print(f"  simulated P[detect] = {result.detection_probability:.4f} "
+          f"(95% CI [{low:.4f}, {high:.4f}])")
+
+    print("\nStep 3: check the multi-hop delivery premise")
+    positions = deploy_uniform(chosen.field, chosen.num_sensors, rng=42)
+    graph = build_connectivity_graph(
+        positions,
+        ONR_COMMUNICATION_RANGE,
+        base_station=(chosen.field.width / 2, chosen.field.height / 2),
+    )
+    # Underwater acoustic links: ~4 s propagation at 6 km + MAC margin.
+    report = delivery_report(graph, chosen.sensing_period, per_hop_latency=8.0)
+    print(f"  connected sensors:        {report.connected_fraction:.1%}")
+    print(f"  mean / max hops to base:  {report.mean_hops:.1f} / {report.max_hops}")
+    print(f"  deliverable within one sensing period: "
+          f"{report.deliverable_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

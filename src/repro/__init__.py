@@ -1,0 +1,78 @@
+"""repro — group based detection analysis for sparse sensor networks.
+
+A full reproduction of *"Performance Analysis of Group Based Detection for
+Sparse Sensor Networks"* (Zhang, Zhou, Son, Stankovic, Whitehouse —
+IEEE ICDCS 2008): the M-S-approach analytical model, the S-approach
+baseline, an exact reference analysis, a vectorised Monte Carlo simulator,
+the online group-detection algorithm, and the deployment / geometry /
+Markov-chain / multi-hop-network substrates they stand on.
+
+Quickstart::
+
+    from repro import MarkovSpatialAnalysis, MonteCarloSimulator, onr_scenario
+
+    scenario = onr_scenario(num_sensors=240, speed=10.0)
+    analysis = MarkovSpatialAnalysis(scenario, body_truncation=3)
+    print("analysis:", analysis.detection_probability())
+
+    sim = MonteCarloSimulator(scenario, trials=10_000, seed=7)
+    print("simulation:", sim.run().detection_probability)
+"""
+
+from repro.core import (
+    DetectionLatencyAnalysis,
+    ExactSpatialAnalysis,
+    MarkovSpatialAnalysis,
+    MultiNodeAnalysis,
+    SApproach,
+    Scenario,
+    detection_probability_single_period,
+)
+from repro.deployment import SensorField, deploy_uniform
+from repro.errors import (
+    AnalysisError,
+    DeploymentError,
+    DistributionError,
+    GeometryError,
+    MarkovChainError,
+    ReproError,
+    RoutingError,
+    ScenarioError,
+    SimulationError,
+)
+from repro.experiments.presets import onr_scenario
+from repro.simulation import (
+    MonteCarloSimulator,
+    RandomWalkTarget,
+    SimulationResult,
+    StraightLineTarget,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "DeploymentError",
+    "DetectionLatencyAnalysis",
+    "DistributionError",
+    "ExactSpatialAnalysis",
+    "GeometryError",
+    "MarkovChainError",
+    "MarkovSpatialAnalysis",
+    "MonteCarloSimulator",
+    "MultiNodeAnalysis",
+    "RandomWalkTarget",
+    "ReproError",
+    "RoutingError",
+    "SApproach",
+    "Scenario",
+    "ScenarioError",
+    "SensorField",
+    "SimulationError",
+    "SimulationResult",
+    "StraightLineTarget",
+    "__version__",
+    "deploy_uniform",
+    "detection_probability_single_period",
+    "onr_scenario",
+]

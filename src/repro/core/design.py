@@ -1,0 +1,189 @@
+"""Deployment design tools built on the analytical model.
+
+The paper's closing argument is that the M-S-approach lets a system
+designer answer sizing questions "without running extensive simulations".
+This module turns that into an API: invert the model over its three main
+design knobs — fleet size ``N``, detection rule ``(k, M)``, and the
+detection requirement — under a node-level false alarm budget.
+
+All searches are over integers and use the model's monotonicities
+(detection probability is non-decreasing in ``N`` and non-increasing in
+``k``), which the test suite pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.false_alarms import minimum_safe_threshold
+from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.core.scenario import Scenario
+from repro.errors import AnalysisError
+
+__all__ = [
+    "DesignPoint",
+    "detection_probability",
+    "minimum_sensors",
+    "maximum_threshold",
+    "design_deployment",
+    "rule_frontier",
+]
+
+
+def detection_probability(scenario: Scenario, truncation: int = 3) -> float:
+    """Model detection probability for a scenario (M-S-approach, Eq. 13)."""
+    return MarkovSpatialAnalysis(
+        scenario, body_truncation=truncation
+    ).detection_probability()
+
+
+def minimum_sensors(
+    scenario: Scenario,
+    required_probability: float,
+    max_sensors: int = 2_000,
+    truncation: int = 3,
+) -> Optional[int]:
+    """Smallest ``N`` whose detection probability meets the requirement.
+
+    Other scenario fields (rule, geometry) are held fixed.  Uses binary
+    search over the monotone model.
+
+    Args:
+        scenario: template scenario (its ``num_sensors`` is ignored).
+        required_probability: target ``P_M[X >= k]`` in ``(0, 1)``.
+        max_sensors: search ceiling.
+        truncation: M-S truncation ``g``.
+
+    Returns:
+        The minimal ``N``, or ``None`` if even ``max_sensors`` falls short.
+    """
+    if not 0.0 < required_probability < 1.0:
+        raise AnalysisError(
+            f"required_probability must be in (0, 1), got {required_probability}"
+        )
+    if max_sensors < 1:
+        raise AnalysisError(f"max_sensors must be >= 1, got {max_sensors}")
+
+    def meets(count: int) -> bool:
+        candidate = scenario.replace(num_sensors=count)
+        return detection_probability(candidate, truncation) >= required_probability
+
+    if not meets(max_sensors):
+        return None
+    low, high = 1, max_sensors
+    while low < high:
+        mid = (low + high) // 2
+        if meets(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def maximum_threshold(
+    scenario: Scenario,
+    required_probability: float,
+    truncation: int = 3,
+) -> Optional[int]:
+    """Largest ``k`` (false-alarm immunity) still meeting the requirement.
+
+    Returns ``None`` when even ``k = 1`` misses the requirement.
+    """
+    if not 0.0 < required_probability < 1.0:
+        raise AnalysisError(
+            f"required_probability must be in (0, 1), got {required_probability}"
+        )
+    best = None
+    for k in range(1, scenario.num_sensors * (scenario.ms + 1) + 1):
+        candidate = scenario.replace(threshold=k)
+        if detection_probability(candidate, truncation) >= required_probability:
+            best = k
+        else:
+            break
+    return best
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One feasible deployment design.
+
+    Attributes:
+        scenario: the fully-specified scenario (N and k filled in).
+        detection_probability: model detection probability at this design.
+        window_false_alarm_probability: system false alarm probability per
+            ``M``-period window under the Bernoulli node model.
+    """
+
+    scenario: Scenario
+    detection_probability: float
+    window_false_alarm_probability: float
+
+
+def design_deployment(
+    template: Scenario,
+    required_probability: float,
+    node_false_alarm_prob: float,
+    max_window_fa_probability: float,
+    max_sensors: int = 2_000,
+    truncation: int = 3,
+) -> Optional[DesignPoint]:
+    """Joint design: smallest ``N`` with the FA-safe ``k`` meeting detection.
+
+    For each candidate fleet size the threshold is first raised to the
+    minimum safe value for the false alarm budget
+    (:func:`repro.core.false_alarms.minimum_safe_threshold` — larger
+    fleets generate more false reports and need larger ``k``), then the
+    detection requirement is checked.  Returns the cheapest feasible
+    design, or ``None``.
+    """
+    if max_sensors < 1:
+        raise AnalysisError(f"max_sensors must be >= 1, got {max_sensors}")
+    # Detection probability is *not* monotone in N here (k_min grows with
+    # N), so scan rather than bisect; the model is cheap.
+    step = max(1, max_sensors // 200)
+    for count in range(step, max_sensors + 1, step):
+        threshold = minimum_safe_threshold(
+            count, template.window, node_false_alarm_prob, max_window_fa_probability
+        )
+        candidate = template.replace(num_sensors=count, threshold=threshold)
+        p_detect = detection_probability(candidate, truncation)
+        if p_detect >= required_probability:
+            from repro.core.false_alarms import window_false_alarm_probability
+
+            return DesignPoint(
+                scenario=candidate,
+                detection_probability=p_detect,
+                window_false_alarm_probability=window_false_alarm_probability(
+                    count, template.window, node_false_alarm_prob, threshold
+                ),
+            )
+    return None
+
+
+def rule_frontier(
+    scenario: Scenario,
+    thresholds: range,
+    truncation: int = 3,
+) -> List[DesignPoint]:
+    """Detection probability along a sweep of ``k`` (fixed ``N``, ``M``).
+
+    The (k, P[detect]) frontier a designer trades false-alarm immunity
+    against; false alarm probabilities are reported for reference at
+    ``pf = 0`` (pass the output through
+    :func:`repro.core.false_alarms.window_false_alarm_probability` for a
+    concrete noise level).
+    """
+    points = []
+    for k in thresholds:
+        if k < 1:
+            raise AnalysisError(f"thresholds must be >= 1, got {k}")
+        candidate = scenario.replace(threshold=k)
+        points.append(
+            DesignPoint(
+                scenario=candidate,
+                detection_probability=detection_probability(candidate, truncation),
+                window_false_alarm_probability=0.0,
+            )
+        )
+    return points

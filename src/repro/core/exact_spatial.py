@@ -1,0 +1,122 @@
+"""Exact spatial reference analysis (our addition — see DESIGN.md §3).
+
+The S-approach truncates at ``G`` sensors because Algorithm 1 enumerates
+sensor placements.  But sensors are i.i.d. uniform, so the total report
+count is the sum of ``N`` i.i.d. per-sensor contributions, and its exact
+pmf is simply the ``N``-fold convolution of the whole-field per-sensor
+report pmf.  No truncation, no normalisation, ``O(N^2 * ms^2)`` worst case
+— milliseconds at the paper's scale.
+
+This makes an ideal oracle: it is exact under exactly the assumptions the
+paper's approaches approximate (uniform i.i.d. sensors, straight constant-
+speed track, per-region coverage counts), so any difference between it and
+the M-S-approach is pure truncation error.
+
+The closed-form region areas come from
+:func:`repro.core.regions.window_regions`, which handles any window length
+including ``M <= ms``; ``region_method='monte_carlo'`` estimates the same
+areas by sampling and exists as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.regions import window_regions
+from repro.core.report_dist import exact_report_pmf
+from repro.core.scenario import Scenario
+from repro.errors import AnalysisError
+from repro.geometry.coverage import estimate_coverage_count_areas
+
+__all__ = ["ExactSpatialAnalysis"]
+
+_RngLike = Union[None, int, np.random.Generator]
+
+
+class ExactSpatialAnalysis:
+    """Exact report-count distribution via ``N``-fold convolution.
+
+    Args:
+        scenario: the model parameters.
+        region_method: ``'closed_form'`` (default, exact) or
+            ``'monte_carlo'`` (samples the region areas; cross-check).
+        monte_carlo_samples: sample count for ``'monte_carlo'``.
+        rng: seed or generator for ``'monte_carlo'``.
+
+    Raises:
+        AnalysisError: for an unknown method.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        region_method: str = "closed_form",
+        monte_carlo_samples: int = 400_000,
+        rng: _RngLike = None,
+    ):
+        self._scenario = scenario
+        if region_method == "closed_form":
+            self._regions = window_regions(scenario, scenario.window)
+        elif region_method == "monte_carlo":
+            self._regions = self._monte_carlo_regions(monte_carlo_samples, rng)
+        else:
+            raise AnalysisError(
+                f"unknown region_method {region_method!r}; "
+                "use 'closed_form' or 'monte_carlo'"
+            )
+        self._pmf: Optional[np.ndarray] = None
+
+    def _monte_carlo_regions(self, samples: int, rng: _RngLike) -> np.ndarray:
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        estimated = estimate_coverage_count_areas(
+            self._scenario.sensing_range,
+            self._scenario.step_length,
+            self._scenario.window,
+            samples=samples,
+            rng=generator,
+        )
+        max_coverage = max(estimated) if estimated else 1
+        areas = np.zeros(max_coverage + 1)
+        for coverage, area in estimated.items():
+            areas[coverage] = area
+        return areas
+
+    @property
+    def scenario(self) -> Scenario:
+        """The analysed scenario."""
+        return self._scenario
+
+    @property
+    def region_areas(self) -> np.ndarray:
+        """``Region(i)`` areas used (copy)."""
+        return self._regions.copy()
+
+    def report_count_pmf(self) -> np.ndarray:
+        """Exact pmf of the total report count over the ``M``-period window."""
+        if self._pmf is None:
+            self._pmf = exact_report_pmf(
+                self._regions,
+                self._scenario.field_area,
+                self._scenario.num_sensors,
+                self._scenario.detect_prob,
+            )
+        return self._pmf.copy()
+
+    def detection_probability(self, threshold: Optional[int] = None) -> float:
+        """Exact ``P_M[X >= k]``."""
+        k = self._scenario.threshold if threshold is None else threshold
+        if k < 0:
+            raise AnalysisError(f"threshold must be non-negative, got {k}")
+        pmf = self.report_count_pmf()
+        if k >= pmf.size:
+            return 0.0
+        return float(pmf[k:].sum())
+
+    def expected_report_count(self) -> float:
+        """Mean of the exact report-count distribution."""
+        pmf = self.report_count_pmf()
+        return float(np.arange(pmf.size) @ pmf)

@@ -1,0 +1,125 @@
+"""Heterogeneous fleets: sensors with different sensing ranges.
+
+The paper assumes "the sensing ranges of all the sensors are the same"
+(Section 2).  Real procurement rarely does: a deployment might mix a few
+expensive long-range sonars with many cheap short-range ones.  The exact
+spatial machinery extends immediately: sensors of each class are i.i.d.
+uniform with their own coverage-region decomposition, so the total report
+count is the convolution of per-class exact pmfs — still exact, still
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.regions import window_regions
+from repro.core.report_dist import exact_report_pmf
+from repro.core.scenario import Scenario
+from repro.errors import AnalysisError
+
+__all__ = ["SensorClass", "HeterogeneousExactAnalysis"]
+
+
+@dataclass(frozen=True)
+class SensorClass:
+    """One homogeneous sub-fleet.
+
+    Attributes:
+        count: number of sensors of this class.
+        sensing_range: their common sensing range ``Rs`` in meters.
+    """
+
+    count: int
+    sensing_range: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise AnalysisError(f"count must be non-negative, got {self.count}")
+        if self.sensing_range <= 0:
+            raise AnalysisError(
+                f"sensing_range must be positive, got {self.sensing_range}"
+            )
+
+
+class HeterogeneousExactAnalysis:
+    """Exact report-count analysis of a mixed-range fleet.
+
+    Args:
+        scenario: base parameters; its ``num_sensors`` must equal the sum
+            of class counts, and its ``sensing_range`` is ignored (each
+            class carries its own).
+        classes: the sub-fleets.
+
+    Raises:
+        AnalysisError: on inconsistent counts or empty classes.
+    """
+
+    def __init__(self, scenario: Scenario, classes: Sequence[SensorClass]):
+        classes = list(classes)
+        if not classes:
+            raise AnalysisError("at least one sensor class is required")
+        total = sum(c.count for c in classes)
+        if total != scenario.num_sensors:
+            raise AnalysisError(
+                f"class counts sum to {total} but the scenario has "
+                f"{scenario.num_sensors} sensors"
+            )
+        self._scenario = scenario
+        self._classes = classes
+        self._pmf: Optional[np.ndarray] = None
+
+    @property
+    def scenario(self) -> Scenario:
+        """The base scenario."""
+        return self._scenario
+
+    @property
+    def classes(self) -> Sequence[SensorClass]:
+        """The sub-fleets (copy)."""
+        return list(self._classes)
+
+    def sensing_ranges(self) -> np.ndarray:
+        """Per-sensor range array ``(N,)`` in class order, for the simulator."""
+        return np.concatenate(
+            [np.full(c.count, c.sensing_range) for c in self._classes]
+        )
+
+    def report_count_pmf(self) -> np.ndarray:
+        """Exact pmf of the total report count across all classes."""
+        if self._pmf is None:
+            pmf = np.array([1.0])
+            for cls in self._classes:
+                if cls.count == 0:
+                    continue
+                class_scenario = self._scenario.replace(
+                    sensing_range=cls.sensing_range, num_sensors=cls.count
+                )
+                regions = window_regions(class_scenario, class_scenario.window)
+                class_pmf = exact_report_pmf(
+                    regions,
+                    class_scenario.field_area,
+                    cls.count,
+                    class_scenario.detect_prob,
+                )
+                pmf = np.convolve(pmf, class_pmf)
+            self._pmf = pmf
+        return self._pmf.copy()
+
+    def detection_probability(self, threshold: Optional[int] = None) -> float:
+        """Exact ``P_M[X >= k]`` for the mixed fleet."""
+        k = self._scenario.threshold if threshold is None else threshold
+        if k < 0:
+            raise AnalysisError(f"threshold must be non-negative, got {k}")
+        pmf = self.report_count_pmf()
+        if k >= pmf.size:
+            return 0.0
+        return float(pmf[k:].sum())
+
+    def expected_report_count(self) -> float:
+        """Mean of the mixed-fleet report-count distribution."""
+        pmf = self.report_count_pmf()
+        return float(np.arange(pmf.size) @ pmf)

@@ -1,0 +1,90 @@
+"""Sensor value objects.
+
+Hot paths use plain ``(N, 2)`` coordinate arrays; :class:`Sensor` is the
+readable per-node record used by the network substrate, the online detector,
+and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import DeploymentError
+from repro.geometry.shapes import Point
+
+__all__ = ["Sensor", "sensors_from_array"]
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """A deployed sensor node.
+
+    Attributes:
+        node_id: unique integer identifier within a deployment.
+        position: location in the field.
+        sensing_range: radius within which a target is detectable with
+            probability ``Pd``.
+        communication_range: radius within which this node can exchange
+            packets with a neighbour.
+    """
+
+    node_id: int
+    position: Point
+    sensing_range: float
+    communication_range: float
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise DeploymentError(f"node_id must be non-negative, got {self.node_id}")
+        if self.sensing_range < 0:
+            raise DeploymentError(
+                f"sensing_range must be non-negative, got {self.sensing_range}"
+            )
+        if self.communication_range < 0:
+            raise DeploymentError(
+                f"communication_range must be non-negative, got {self.communication_range}"
+            )
+
+    def can_sense(self, point: Point) -> bool:
+        """Whether ``point`` lies within this sensor's sensing range."""
+        return self.position.distance_to(point) <= self.sensing_range
+
+    def can_communicate_with(self, other: "Sensor") -> bool:
+        """Whether the two nodes are within each other's communication range.
+
+        Links are modelled as symmetric: both ranges must cover the distance.
+        """
+        distance = self.position.distance_to(other.position)
+        return (
+            distance <= self.communication_range
+            and distance <= other.communication_range
+        )
+
+
+def sensors_from_array(
+    positions: np.ndarray, sensing_range: float, communication_range: float
+) -> List[Sensor]:
+    """Wrap an ``(N, 2)`` position array into :class:`Sensor` records.
+
+    Node ids are assigned by row order.
+
+    Raises:
+        DeploymentError: if ``positions`` is not an ``(N, 2)`` array.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise DeploymentError(
+            f"positions must have shape (N, 2), got {positions.shape}"
+        )
+    return [
+        Sensor(
+            node_id=i,
+            position=Point(float(x), float(y)),
+            sensing_range=sensing_range,
+            communication_range=communication_range,
+        )
+        for i, (x, y) in enumerate(positions)
+    ]

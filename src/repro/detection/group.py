@@ -1,0 +1,144 @@
+"""The sliding-window group detector (the algorithm the paper abstracts).
+
+"The system level detection decision is made when the sensor network
+generates a sequence of at least ``k`` detection reports within ``M``
+sensing periods that can be mapped to a possible target track"
+(Section 2).  :class:`GroupDetector` implements exactly that rule as an
+online algorithm: feed it each period's reports; it maintains the last
+``M`` periods and fires when the (optionally track-filtered) reports reach
+``k`` — with the Section 4 extension of additionally requiring reports from
+at least ``h`` distinct nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from repro.detection.reports import DetectionReport
+from repro.detection.track_filter import SpeedGateTrackFilter
+from repro.errors import SimulationError
+
+__all__ = ["GroupDetector"]
+
+
+class GroupDetector:
+    """Online k-of-M group detection with optional track filtering.
+
+    Args:
+        window: ``M`` — periods the decision looks back over.
+        threshold: ``k`` — reports required within the window.
+        min_nodes: ``h`` — distinct reporting nodes required (default 1,
+            the paper's base rule).
+        track_filter: optional :class:`SpeedGateTrackFilter`; when present,
+            only the largest track-consistent subset of the windowed
+            reports is counted, which is how false alarms get filtered out.
+
+    Raises:
+        SimulationError: on invalid parameters.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        threshold: int,
+        min_nodes: int = 1,
+        track_filter: Optional[SpeedGateTrackFilter] = None,
+    ):
+        if window < 1:
+            raise SimulationError(f"window must be >= 1, got {window}")
+        if threshold < 1:
+            raise SimulationError(f"threshold must be >= 1, got {threshold}")
+        if min_nodes < 1:
+            raise SimulationError(f"min_nodes must be >= 1, got {min_nodes}")
+        self._window = window
+        self._threshold = threshold
+        self._min_nodes = min_nodes
+        self._track_filter = track_filter
+        # One deque slot per period currently inside the window.
+        self._periods: Deque[Tuple[int, List[DetectionReport]]] = deque()
+        self._last_period = 0
+        self._detections: List[int] = []
+
+    @property
+    def window(self) -> int:
+        """``M``."""
+        return self._window
+
+    @property
+    def threshold(self) -> int:
+        """``k``."""
+        return self._threshold
+
+    @property
+    def min_nodes(self) -> int:
+        """``h``."""
+        return self._min_nodes
+
+    @property
+    def detection_periods(self) -> List[int]:
+        """Periods at which the system-level decision fired (copies)."""
+        return list(self._detections)
+
+    def windowed_reports(self) -> List[DetectionReport]:
+        """All reports currently inside the window."""
+        return [report for _, reports in self._periods for report in reports]
+
+    def observe(self, period: int, reports: Iterable[DetectionReport]) -> bool:
+        """Feed one period's reports; return the system-level decision.
+
+        Args:
+            period: 1-based period index; must be strictly increasing
+                across calls (periods with no reports must still be
+                observed, with an empty iterable).
+            reports: this period's detection reports.
+
+        Returns:
+            ``True`` when at least ``k`` (track-consistent) reports from at
+            least ``h`` distinct nodes lie within the last ``M`` periods.
+
+        Raises:
+            SimulationError: on out-of-order periods or reports whose
+                period does not match.
+        """
+        if period <= self._last_period:
+            raise SimulationError(
+                f"periods must be strictly increasing: got {period} after "
+                f"{self._last_period}"
+            )
+        report_list = list(reports)
+        for report in report_list:
+            if report.period != period:
+                raise SimulationError(
+                    f"report carries period {report.period}, expected {period}"
+                )
+        self._last_period = period
+        self._periods.append((period, report_list))
+        while self._periods and self._periods[0][0] <= period - self._window:
+            self._periods.popleft()
+
+        candidates = self.windowed_reports()
+        if self._track_filter is not None:
+            candidates = self._track_filter.largest_feasible_subset(candidates)
+        fired = (
+            len(candidates) >= self._threshold
+            and len({report.node_id for report in candidates}) >= self._min_nodes
+        )
+        if fired:
+            self._detections.append(period)
+        return fired
+
+    def process_stream(
+        self, periods: Iterable[Tuple[int, Iterable[DetectionReport]]]
+    ) -> bool:
+        """Observe a whole stream; return whether any period fired."""
+        fired = False
+        for period, reports in periods:
+            fired = self.observe(period, reports) or fired
+        return fired
+
+    def reset(self) -> None:
+        """Forget all state (fresh deployment)."""
+        self._periods.clear()
+        self._last_period = 0
+        self._detections.clear()

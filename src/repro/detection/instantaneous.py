@@ -1,0 +1,64 @@
+"""Instantaneous detection: the baseline group detection degrades into.
+
+When ``M = 1`` (and consequently ``k = 1`` in sparse deployments, Section
+3.1), group based detection becomes *instantaneous detection*: any single
+report triggers a system-level decision, so every node-level false alarm
+becomes a system-level false alarm.  This detector exists as the baseline
+the paper argues against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.detection.reports import DetectionReport
+from repro.errors import SimulationError
+
+__all__ = ["InstantaneousDetector"]
+
+
+class InstantaneousDetector:
+    """Single-period thresholding (``M = 1``).
+
+    Args:
+        threshold: reports required within one period (``k``; usually 1 in
+            sparse deployments).
+
+    Raises:
+        SimulationError: if ``threshold < 1``.
+    """
+
+    def __init__(self, threshold: int = 1):
+        if threshold < 1:
+            raise SimulationError(f"threshold must be >= 1, got {threshold}")
+        self._threshold = threshold
+        self._detections: List[int] = []
+        self._last_period = 0
+
+    @property
+    def threshold(self) -> int:
+        """``k``."""
+        return self._threshold
+
+    @property
+    def detection_periods(self) -> List[int]:
+        """Periods at which the decision fired (copies)."""
+        return list(self._detections)
+
+    def observe(self, period: int, reports: Iterable[DetectionReport]) -> bool:
+        """Feed one period's reports; return the decision for that period."""
+        if period <= self._last_period:
+            raise SimulationError(
+                f"periods must be strictly increasing: got {period} after "
+                f"{self._last_period}"
+            )
+        self._last_period = period
+        fired = len(list(reports)) >= self._threshold
+        if fired:
+            self._detections.append(period)
+        return fired
+
+    def reset(self) -> None:
+        """Forget all state."""
+        self._detections.clear()
+        self._last_period = 0

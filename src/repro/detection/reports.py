@@ -1,0 +1,33 @@
+"""Detection report records exchanged between sensors and the base station."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.geometry.shapes import Point
+
+__all__ = ["DetectionReport"]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """One sensor's claim "I detected the target in this period".
+
+    Attributes:
+        node_id: reporting sensor's identifier.
+        period: 1-based sensing period index.
+        position: the reporting sensor's location (the base station knows
+            deployment positions; the target itself is not localised beyond
+            "within ``Rs`` of this sensor").
+    """
+
+    node_id: int
+    period: int
+    position: Point
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise SimulationError(f"node_id must be non-negative, got {self.node_id}")
+        if self.period < 1:
+            raise SimulationError(f"period must be >= 1, got {self.period}")

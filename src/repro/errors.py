@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised on purpose by this library derive from
+:class:`ReproError`, so callers can catch one base class when they want to
+distinguish library errors from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ScenarioError(ReproError, ValueError):
+    """A scenario's parameters are inconsistent or out of range."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A geometric quantity was requested with invalid arguments."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A probability distribution failed validation."""
+
+
+class MarkovChainError(ReproError, ValueError):
+    """A Markov chain was built from invalid ingredients."""
+
+
+class DeploymentError(ReproError, ValueError):
+    """A sensor deployment request cannot be satisfied."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A Monte Carlo simulation was configured or executed incorrectly."""
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """An analytical method cannot be applied to the given scenario."""
+
+
+class RoutingError(ReproError, RuntimeError):
+    """A packet could not be routed to its destination."""

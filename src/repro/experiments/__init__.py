@@ -1,0 +1,12 @@
+"""Experiment harness: presets, sweeps, figure/table regeneration, CLI."""
+
+from repro.experiments.presets import onr_scenario, small_scenario
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.tables import render_table
+
+__all__ = [
+    "ExperimentRecord",
+    "onr_scenario",
+    "render_table",
+    "small_scenario",
+]

@@ -1,0 +1,255 @@
+"""Command-line interface: ``repro <experiment> [options]``.
+
+Regenerates any of the paper's tables/figures from the terminal::
+
+    repro fig9a --trials 2000 --seed 7
+    repro fig8
+    repro runtime
+    repro all --trials 1000 --json results/
+
+Exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import figures
+from repro.experiments.plotting import plot_record
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _run_fig8(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.fig8_required_truncation(target_accuracy=args.accuracy)
+
+
+def _run_fig9a(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.fig9a_straight_line(trials=args.trials, seed=args.seed)
+
+
+def _run_fig9b(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.fig9b_unnormalized(trials=args.trials, seed=args.seed)
+
+
+def _run_fig9c(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.fig9c_random_walk(trials=args.trials, seed=args.seed)
+
+
+def _run_runtime(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.runtime_comparison(target_accuracy=args.accuracy)
+
+
+def _run_multinode(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.multinode_experiment(trials=args.trials, seed=args.seed)
+
+
+def _run_false_alarms(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.false_alarm_table()
+
+
+def _run_network(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.network_latency_experiment(seed=args.seed)
+
+
+def _run_boundary(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.boundary_ablation(trials=args.trials, seed=args.seed)
+
+
+def _run_truncation(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.truncation_ablation()
+
+
+def _run_latency(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.detection_latency_experiment(trials=args.trials, seed=args.seed)
+
+
+def _run_deployment(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.deployment_ablation(trials=args.trials, seed=args.seed)
+
+
+def _run_speed(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.varying_speed_experiment(trials=args.trials, seed=args.seed)
+
+
+def _run_sliding(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.sliding_window_experiment(trials=args.trials, seed=args.seed)
+
+
+def _run_netloss(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.network_loss_experiment(
+        trials=min(args.trials, 5_000), seed=args.seed
+    )
+
+
+def _run_duty(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.duty_cycle_experiment(trials=args.trials, seed=args.seed)
+
+
+def _run_tracking(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.tracking_experiment(
+        episodes=max(50, args.trials // 30), seed=args.seed
+    )
+
+
+def _run_multi(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.multi_target_experiment(
+        episodes=max(50, args.trials // 25), seed=args.seed
+    )
+
+
+def _run_hetero(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.heterogeneous_experiment(
+        trials=min(args.trials, 5_000), seed=args.seed
+    )
+
+
+def _run_sensitivity(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.sensitivity_experiment()
+
+
+def _run_rule(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.rule_design_experiment()
+
+
+def _run_m1(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.instantaneous_vs_group_experiment()
+
+
+def _run_drift(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.drift_experiment(trials=args.trials, seed=args.seed)
+
+
+def _run_bases(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.multi_base_experiment(seed=args.seed)
+
+
+_EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], ExperimentRecord]] = {
+    "fig8": _run_fig8,
+    "fig9a": _run_fig9a,
+    "fig9b": _run_fig9b,
+    "fig9c": _run_fig9c,
+    "runtime": _run_runtime,
+    "multinode": _run_multinode,
+    "false-alarms": _run_false_alarms,
+    "network": _run_network,
+    "boundary": _run_boundary,
+    "truncation": _run_truncation,
+    "latency": _run_latency,
+    "deployment": _run_deployment,
+    "speed": _run_speed,
+    "sliding": _run_sliding,
+    "netloss": _run_netloss,
+    "duty": _run_duty,
+    "tracking": _run_tracking,
+    "multi": _run_multi,
+    "hetero": _run_hetero,
+    "sensitivity": _run_sensitivity,
+    "rule": _run_rule,
+    "m1": _run_m1,
+    "drift": _run_drift,
+    "bases": _run_bases,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of Zhang et al., "
+        "'Performance Analysis of Group Based Detection for Sparse Sensor "
+        "Networks' (ICDCS 2008).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "validate"],
+        help="which experiment to run ('all' runs every one; 'validate' "
+        "runs the reproduction acceptance checks)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=10_000,
+        help="Monte Carlo trials per configuration (default: 10000, the paper's value)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20080617, help="simulation seed (default: 20080617)"
+    )
+    parser.add_argument(
+        "--accuracy",
+        type=float,
+        default=0.99,
+        help="analysis accuracy target for fig8/runtime (default: 0.99)",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write each record as JSON into this directory",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII chart after each table (where applicable)",
+    )
+    return parser
+
+
+#: Plot specs: experiment id -> (x column, y columns, group-by column).
+_PLOT_SPECS = {
+    "FIG8": ("num_sensors", ["g", "gh", "G"], ""),
+    "FIG9A": ("num_sensors", ["analysis", "simulation"], "speed"),
+    "FIG9B": ("num_sensors", ["analysis", "simulation"], "speed"),
+    "FIG9C": ("num_sensors", ["analysis", "simulation"], "speed"),
+    "EXT-H": ("min_nodes", ["analysis", "simulation"], ""),
+    "EXT-NET": ("num_sensors", ["connected_fraction", "deliverable_fraction"], ""),
+    "EXT-LAT": ("num_sensors", ["mean_latency_analysis", "mean_latency_sim"], ""),
+    "EXT-EXACT": ("truncation", ["normalized_error", "unnormalized_error"], ""),
+}
+
+
+def _emit(
+    record: ExperimentRecord,
+    json_dir: Optional[pathlib.Path],
+    plot: bool = False,
+) -> None:
+    print(f"[{record.experiment_id}] {record.title}")
+    rows = [[row.get(col) for col in record.columns] for row in record.rows]
+    print(render_table(record.columns, rows))
+    print()
+    if plot and record.experiment_id in _PLOT_SPECS:
+        x_column, y_columns, group_by = _PLOT_SPECS[record.experiment_id]
+        print(plot_record(record, x_column, y_columns, group_by=group_by))
+        print()
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        path = json_dir / f"{record.experiment_id.lower()}.json"
+        path.write_text(record.to_json())
+        print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "validate":
+        from repro.experiments.validation import run_validation
+
+        summary = run_validation(trials=args.trials, seed=args.seed)
+        print(summary.render())
+        return 0 if summary.passed else 1
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        record = _EXPERIMENTS[name](args)
+        _emit(record, args.json, plot=args.plot)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

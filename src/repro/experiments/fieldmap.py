@@ -1,0 +1,117 @@
+"""ASCII field maps: deployments, tracks, and reporters at a glance.
+
+Terminal rendering of a surveillance episode — sensors, the target's
+track, and which sensors reported — so examples and debugging sessions
+can *see* the sparse geometry instead of imagining it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.deployment.field import SensorField
+from repro.errors import SimulationError
+
+__all__ = ["render_field"]
+
+#: Glyph precedence: later entries overwrite earlier ones in the grid.
+_SENSOR = "."
+_REPORTER = "o"
+_TRACK = "-"
+_START = "S"
+_END = "E"
+
+
+def render_field(
+    field: SensorField,
+    sensor_positions: np.ndarray,
+    waypoints: Optional[np.ndarray] = None,
+    reporter_ids: Optional[Sequence[int]] = None,
+    width: int = 64,
+) -> str:
+    """Render the field as an ASCII map.
+
+    Args:
+        field: the rectangular field.
+        sensor_positions: ``(N, 2)`` sensor coordinates.
+        waypoints: optional ``(M + 1, 2)`` target track to overlay, or a
+            list of such arrays (multiple targets).
+        reporter_ids: optional indices of sensors that reported (drawn as
+            ``o`` instead of ``.``).
+        width: map width in characters; height preserves the aspect ratio.
+
+    Returns:
+        The map plus a legend, as a multi-line string.
+
+    Raises:
+        SimulationError: on malformed inputs.
+    """
+    positions = np.asarray(sensor_positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise SimulationError(
+            f"sensor_positions must have shape (N, 2), got {positions.shape}"
+        )
+    if width < 8:
+        raise SimulationError(f"width must be >= 8, got {width}")
+    # Terminal cells are ~2x taller than wide; halve the row count.
+    height = max(4, round(width * (field.height / field.width) / 2.0))
+
+    def to_cell(x: float, y: float):
+        col = min(width - 1, max(0, int(x / field.width * width)))
+        row = min(height - 1, max(0, int((1.0 - y / field.height) * height)))
+        return row, col
+
+    grid = [[" "] * width for _ in range(height)]
+
+    for x, y in positions:
+        row, col = to_cell(x, y)
+        grid[row][col] = _SENSOR
+
+    if waypoints is not None:
+        if isinstance(waypoints, (list, tuple)):
+            tracks = [np.asarray(w, dtype=float) for w in waypoints]
+        else:
+            tracks = [np.asarray(waypoints, dtype=float)]
+        for track in tracks:
+            if track.ndim != 2 or track.shape[1] != 2 or track.shape[0] < 2:
+                raise SimulationError(
+                    f"waypoints must have shape (M + 1, 2), got {track.shape}"
+                )
+            # Densify segments so the track reads as a line.
+            for start, end in zip(track[:-1], track[1:]):
+                for t in np.linspace(0.0, 1.0, 16):
+                    point = start + t * (end - start)
+                    if (
+                        0 <= point[0] <= field.width
+                        and 0 <= point[1] <= field.height
+                    ):
+                        row, col = to_cell(point[0], point[1])
+                        grid[row][col] = _TRACK
+            if 0 <= track[0, 0] <= field.width and 0 <= track[0, 1] <= field.height:
+                row, col = to_cell(track[0, 0], track[0, 1])
+                grid[row][col] = _START
+            if (
+                0 <= track[-1, 0] <= field.width
+                and 0 <= track[-1, 1] <= field.height
+            ):
+                row, col = to_cell(track[-1, 0], track[-1, 1])
+                grid[row][col] = _END
+
+    if reporter_ids is not None:
+        for index in reporter_ids:
+            if not 0 <= index < positions.shape[0]:
+                raise SimulationError(f"reporter id {index} out of range")
+            row, col = to_cell(positions[index, 0], positions[index, 1])
+            grid[row][col] = _REPORTER
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    legend = f"{_SENSOR} sensor   {_REPORTER} reporter"
+    if waypoints is not None:
+        legend += f"   {_TRACK} track ({_START}=start, {_END}=end)"
+    lines.append(legend)
+    return "\n".join(lines)

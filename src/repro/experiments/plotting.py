@@ -1,0 +1,125 @@
+"""ASCII line plots for terminal-rendered figures.
+
+The paper's evaluation is a set of line charts; these helpers render the
+regenerated data as terminal plots so ``repro fig9a --plot`` shows the
+curve shapes, not just the table.  Pure text, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_plot", "plot_record"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Args:
+        series: mapping from series name to its (x, y) points.  Each
+            series gets a distinct marker; up to 8 series.
+        width: plot area width in characters.
+        height: plot area height in rows.
+        x_label: annotation under the x axis.
+        y_label: annotation above the y axis.
+
+    Returns:
+        The chart as a multi-line string.
+
+    Raises:
+        ValueError: on empty input, too many series, or degenerate size.
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][col] = marker
+
+    lines = [f"  {y_label}"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_high:8.3g} "
+        elif i == height - 1:
+            label = f"{y_low:8.3g} "
+        else:
+            label = " " * 9
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = f"{x_low:<10.4g}{x_label:^{max(0, width - 20)}}{x_high:>10.4g}"
+    lines.append(" " * 10 + x_axis)
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def plot_record(
+    record,
+    x_column: str,
+    y_columns: Sequence[str],
+    group_by: str = "",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Plot columns of an :class:`~repro.experiments.records.ExperimentRecord`.
+
+    Args:
+        record: the experiment record.
+        x_column: column used as the x axis.
+        y_columns: one series per listed column.
+        group_by: optional column whose values split each y column into
+            separate series (e.g. ``speed`` in the Fig. 9 records).
+        width: plot area width.
+        height: plot area height.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in record.rows:
+        if x_column not in row:
+            continue
+        suffix = f" ({group_by}={row[group_by]})" if group_by and group_by in row else ""
+        for column in y_columns:
+            value = row.get(column)
+            if value is None or isinstance(value, str):
+                continue
+            series.setdefault(column + suffix, []).append(
+                (float(row[x_column]), float(value))
+            )
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        x_label=x_column,
+        y_label=record.title,
+    )

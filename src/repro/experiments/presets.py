@@ -1,0 +1,70 @@
+"""Scenario presets.
+
+:func:`onr_scenario` is the parameter set "suggested by researchers at the
+Office of Naval Research" that every experiment in Section 4 of the paper
+uses; :func:`small_scenario` is a down-scaled variant for fast tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario import Scenario
+from repro.deployment.field import SensorField
+
+__all__ = ["onr_scenario", "small_scenario", "ONR_COMMUNICATION_RANGE"]
+
+#: Communication range of the ONR scenario (Section 4): 6000 m.
+ONR_COMMUNICATION_RANGE = 6000.0
+
+
+def onr_scenario(
+    num_sensors: int = 240,
+    speed: float = 10.0,
+    window: int = 20,
+    threshold: int = 5,
+    **overrides,
+) -> Scenario:
+    """The paper's validation scenario (Section 4).
+
+    60-240 sensors in a 32000 x 32000 m field, sensing range 1000 m,
+    ``Pd = 0.9``, one-minute sensing periods, detection rule "at least 5
+    reports within 20 periods", target speed 4 or 10 m/s.
+
+    Args:
+        num_sensors: ``N`` (the paper sweeps 60..240).
+        speed: ``V`` in m/s (the paper uses 4 and 10).
+        window: ``M``.
+        threshold: ``k``.
+        **overrides: any other :class:`~repro.core.scenario.Scenario` field.
+    """
+    parameters = dict(
+        field=SensorField.square(32_000.0),
+        num_sensors=num_sensors,
+        sensing_range=1_000.0,
+        target_speed=speed,
+        sensing_period=60.0,
+        detect_prob=0.9,
+        window=window,
+        threshold=threshold,
+    )
+    parameters.update(overrides)
+    return Scenario(**parameters)
+
+
+def small_scenario(**overrides) -> Scenario:
+    """A fast, down-scaled scenario for tests and examples.
+
+    Same geometry ratios as the ONR scenario (``ms = 4``) in a field 1/16
+    the area, so exact oracles and simulations run in milliseconds.
+    """
+    parameters = dict(
+        field=SensorField.square(8_000.0),
+        num_sensors=40,
+        sensing_range=250.0,
+        target_speed=10.0,
+        sensing_period=15.0,
+        detect_prob=0.9,
+        window=12,
+        threshold=3,
+    )
+    parameters.update(overrides)
+    return Scenario(**parameters)

@@ -1,0 +1,56 @@
+"""Experiment result records with JSON round-tripping."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+
+__all__ = ["ExperimentRecord"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One regenerated table/figure: identification plus tabular data.
+
+    Attributes:
+        experiment_id: stable identifier (``FIG9A``, ``RT1``, ...).
+        title: human-readable description.
+        parameters: the swept/fixed parameters that produced the data.
+        columns: column names, in display order.
+        rows: list of rows; each row is a mapping from column name to value.
+    """
+
+    experiment_id: str
+    title: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    columns: List[str] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unknown columns are added to the column list."""
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order (``None`` where missing)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(asdict(self), indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExperimentRecord":
+        """Deserialise from :meth:`to_json` output."""
+        data = json.loads(payload)
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            parameters=data.get("parameters", {}),
+            columns=list(data.get("columns", [])),
+            rows=list(data.get("rows", [])),
+        )

@@ -1,0 +1,108 @@
+"""Markdown report generation from persisted experiment records.
+
+``pytest benchmarks/ --benchmark-only`` writes every regenerated
+table/figure as JSON under ``benchmarks/results/``; this module turns
+that directory back into a single markdown report — the mechanical core
+of EXPERIMENTS.md, reproducible with one command::
+
+    repro-report benchmarks/results > my_experiments.md
+
+(or ``python -m repro.experiments.report <dir>``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Iterable, List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.tables import format_value
+
+__all__ = ["load_records", "render_markdown_report", "main"]
+
+#: Canonical ordering: the paper's figures first, then extensions.
+_ORDER = [
+    "FIG8",
+    "FIG9A",
+    "FIG9B",
+    "FIG9C",
+    "RT1",
+    "RT1-GROWTH",
+]
+
+
+def load_records(directory: pathlib.Path) -> List[ExperimentRecord]:
+    """Load every ``*.json`` experiment record in ``directory``.
+
+    Raises:
+        ReproError: when the directory does not exist or holds no records.
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        raise ReproError(f"{directory} is not a directory")
+    records = []
+    for path in sorted(directory.glob("*.json")):
+        records.append(ExperimentRecord.from_json(path.read_text()))
+    if not records:
+        raise ReproError(f"no experiment records found in {directory}")
+
+    def sort_key(record: ExperimentRecord):
+        try:
+            return (0, _ORDER.index(record.experiment_id))
+        except ValueError:
+            return (1, record.experiment_id)
+
+    return sorted(records, key=sort_key)
+
+
+def _markdown_table(record: ExperimentRecord) -> str:
+    header = "| " + " | ".join(record.columns) + " |"
+    divider = "|" + "|".join("---" for _ in record.columns) + "|"
+    rows = [
+        "| "
+        + " | ".join(format_value(row.get(col), precision=4) for col in record.columns)
+        + " |"
+        for row in record.rows
+    ]
+    return "\n".join([header, divider] + rows)
+
+
+def render_markdown_report(
+    records: Iterable[ExperimentRecord], title: str = "Experiment report"
+) -> str:
+    """Render records as one markdown document."""
+    parts = [f"# {title}", ""]
+    for record in records:
+        parts.append(f"## {record.experiment_id} — {record.title}")
+        parts.append("")
+        if record.parameters:
+            rendered = ", ".join(
+                f"{key}={format_value(value)}"
+                for key, value in sorted(record.parameters.items())
+            )
+            parts.append(f"*Parameters*: {rendered}")
+            parts.append("")
+        parts.append(_markdown_table(record))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: ``repro-report <results-dir>``."""
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: repro-report <results-dir>", file=sys.stderr)
+        return 2
+    try:
+        records = load_records(pathlib.Path(args[0]))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_markdown_report(records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Generic parameter sweep helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["sweep", "grid_sweep"]
+
+
+def sweep(
+    values: Iterable[Any], compute: Callable[[Any], Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Apply ``compute`` to each value, returning one row dict per value."""
+    return [compute(value) for value in values]
+
+
+def grid_sweep(
+    grids: Dict[str, Sequence[Any]],
+    compute: Callable[..., Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Cartesian-product sweep.
+
+    Args:
+        grids: mapping from keyword-argument name to the values it takes.
+        compute: called once per grid point with those keyword arguments;
+            returns a row dict.
+
+    Returns:
+        Rows in row-major (first key slowest) order.
+    """
+    names = list(grids)
+    rows: List[Dict[str, Any]] = []
+
+    def recurse(index: int, bound: Dict[str, Any]) -> None:
+        if index == len(names):
+            rows.append(compute(**bound))
+            return
+        name = names[index]
+        for value in grids[name]:
+            bound[name] = value
+            recurse(index + 1, bound)
+        del bound[name]
+
+    recurse(0, {})
+    return rows

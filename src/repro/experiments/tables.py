@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Render one cell: floats to fixed precision, everything else via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: row sequences, each the same length as ``headers``.
+        precision: decimal places for float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(header_cells), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)

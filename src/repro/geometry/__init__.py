@@ -1,0 +1,38 @@
+"""Planar geometry substrate.
+
+Everything the analytical model and the simulator need to reason about
+circles, segments, and the stadium-shaped detectable region of a moving
+target lives here.
+"""
+
+from repro.geometry.circle_math import (
+    circle_area,
+    circle_lens_area,
+    circular_segment_area,
+    chord_half_length,
+)
+from repro.geometry.shapes import Circle, Point, Segment
+from repro.geometry.stadium import Stadium
+from repro.geometry.coverage import (
+    covered_fraction,
+    estimate_area_monte_carlo,
+    estimate_coverage_count_areas,
+    expected_covered_fraction,
+    void_probability,
+)
+
+__all__ = [
+    "Circle",
+    "Point",
+    "Segment",
+    "Stadium",
+    "chord_half_length",
+    "circle_area",
+    "circle_lens_area",
+    "circular_segment_area",
+    "covered_fraction",
+    "estimate_area_monte_carlo",
+    "estimate_coverage_count_areas",
+    "expected_covered_fraction",
+    "void_probability",
+]

@@ -1,0 +1,117 @@
+"""Closed-form circle geometry used by the region decomposition.
+
+The paper's Eq. (6) is built from the intersection area of two equal-radius
+circles (a *lens*).  For two circles of radius ``r`` whose centers are ``d``
+apart the lens area is::
+
+    A(d) = 2 r^2 acos(d / 2r) - (d / 2) sqrt(4 r^2 - d^2)      0 <= d <= 2r
+
+which the paper writes as ``2 r^2 acos(d/2r) - d sqrt(r^2 - (d/2)^2)`` —
+the two forms are identical.  Beyond ``d = 2r`` the circles are disjoint and
+the area is zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "circle_area",
+    "circle_lens_area",
+    "circular_segment_area",
+    "chord_half_length",
+]
+
+
+def circle_area(radius: float) -> float:
+    """Area of a circle of the given ``radius``.
+
+    Raises:
+        GeometryError: if ``radius`` is negative.
+    """
+    if radius < 0:
+        raise GeometryError(f"radius must be non-negative, got {radius}")
+    return math.pi * radius * radius
+
+
+def circle_lens_area(distance: float, radius: float) -> float:
+    """Intersection area of two circles of equal ``radius``.
+
+    Args:
+        distance: distance between the two circle centers (non-negative).
+        radius: common radius of both circles (non-negative).
+
+    Returns:
+        The lens area.  ``pi * radius**2`` when ``distance == 0`` (the
+        circles coincide) and ``0.0`` once ``distance >= 2 * radius``.
+
+    Raises:
+        GeometryError: if either argument is negative.
+    """
+    if radius < 0:
+        raise GeometryError(f"radius must be non-negative, got {radius}")
+    if distance < 0:
+        raise GeometryError(f"distance must be non-negative, got {distance}")
+    if radius == 0 or distance >= 2 * radius:
+        return 0.0
+    half = distance / 2.0
+    area = 2.0 * radius * radius * math.acos(half / radius) - distance * math.sqrt(
+        radius * radius - half * half
+    )
+    # Near d = 2r the two terms cancel catastrophically and can leave a
+    # tiny negative residue; the true area is non-negative by definition.
+    return max(0.0, area)
+
+
+def circular_segment_area(radius: float, chord_distance: float) -> float:
+    """Area of the circular segment cut off by a chord.
+
+    The chord lies at perpendicular distance ``chord_distance`` from the
+    circle center; the segment is the smaller piece (the one not containing
+    the center) when ``chord_distance > 0``.
+
+    Raises:
+        GeometryError: if ``radius`` is negative, ``chord_distance`` is
+            negative, or the chord lies outside the circle.
+    """
+    if radius < 0:
+        raise GeometryError(f"radius must be non-negative, got {radius}")
+    if chord_distance < 0:
+        raise GeometryError(
+            f"chord_distance must be non-negative, got {chord_distance}"
+        )
+    if chord_distance > radius:
+        raise GeometryError(
+            f"chord at distance {chord_distance} lies outside circle of radius {radius}"
+        )
+    if radius == 0:
+        return 0.0
+    return radius * radius * math.acos(
+        chord_distance / radius
+    ) - chord_distance * math.sqrt(radius * radius - chord_distance * chord_distance)
+
+
+def chord_half_length(radius: float, chord_distance: float) -> float:
+    """Half-length of the chord at perpendicular distance ``chord_distance``.
+
+    A sensor at perpendicular distance ``y`` from a target's straight track
+    covers the track for a chord of length ``2 * chord_half_length(Rs, y)``;
+    this is what makes target coverage contiguous in time.
+
+    Raises:
+        GeometryError: if arguments are negative or the chord lies outside
+            the circle.
+    """
+    if radius < 0:
+        raise GeometryError(f"radius must be non-negative, got {radius}")
+    if chord_distance < 0:
+        raise GeometryError(
+            f"chord_distance must be non-negative, got {chord_distance}"
+        )
+    if chord_distance > radius:
+        raise GeometryError(
+            f"chord at distance {chord_distance} lies outside circle of radius {radius}"
+        )
+    return math.sqrt(radius * radius - chord_distance * chord_distance)

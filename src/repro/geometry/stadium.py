@@ -1,0 +1,76 @@
+"""The stadium shape: detectable region of a target moving in a straight line.
+
+During one sensing period a target moves distance ``V * t`` along a straight
+line.  Every sensor within sensing range ``Rs`` of any point of that path can
+detect it, so the *detectable region* (DR, Fig. 1 of the paper) is the set of
+points within distance ``Rs`` of the travelled segment — a rectangle of size
+``(V*t) x (2*Rs)`` capped by two half-discs.  Its area is
+``2 * Rs * V * t + pi * Rs**2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.shapes import Point, Segment
+
+__all__ = ["Stadium"]
+
+
+@dataclass(frozen=True)
+class Stadium:
+    """Set of points within ``radius`` of ``segment`` (a "capsule").
+
+    Attributes:
+        segment: the core segment (the target's path in one period).
+        radius: the sensing range padding the segment.
+    """
+
+    segment: Segment
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise GeometryError(f"radius must be non-negative, got {self.radius}")
+
+    @property
+    def area(self) -> float:
+        """``2 * radius * length + pi * radius**2``."""
+        return 2.0 * self.radius * self.segment.length + math.pi * self.radius**2
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside or on the boundary of the stadium."""
+        return self.segment.distance_to_point(point) <= self.radius
+
+    def distance_to(self, point: Point) -> float:
+        """Distance from ``point`` to the stadium (0 if inside)."""
+        return max(0.0, self.segment.distance_to_point(point) - self.radius)
+
+    def bounding_box(self) -> tuple:
+        """Axis-aligned bounding box ``(xmin, ymin, xmax, ymax)``."""
+        xmin = min(self.segment.start.x, self.segment.end.x) - self.radius
+        xmax = max(self.segment.start.x, self.segment.end.x) + self.radius
+        ymin = min(self.segment.start.y, self.segment.end.y) - self.radius
+        ymax = max(self.segment.start.y, self.segment.end.y) + self.radius
+        return (xmin, ymin, xmax, ymax)
+
+    @staticmethod
+    def aggregate_area(radius: float, step_length: float, periods: int) -> float:
+        """Area of the ARegion: union of ``periods`` collinear stadiums.
+
+        For a target travelling ``step_length`` per period for ``periods``
+        periods in a straight line, the union of the per-period DRs is one
+        long stadium of core length ``periods * step_length``:
+        ``2 * radius * periods * step_length + pi * radius**2``
+        (the paper's ``2*M*Rs*V*t + pi*Rs^2``).
+
+        Raises:
+            GeometryError: if any argument is negative or ``periods < 1``.
+        """
+        if radius < 0 or step_length < 0:
+            raise GeometryError("radius and step_length must be non-negative")
+        if periods < 1:
+            raise GeometryError(f"periods must be >= 1, got {periods}")
+        return 2.0 * radius * step_length * periods + math.pi * radius * radius

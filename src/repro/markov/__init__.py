@@ -1,0 +1,19 @@
+"""Finite discrete-time Markov chain substrate."""
+
+from repro.markov.chain import MarkovChain
+from repro.markov.counting import (
+    convolve_pmf,
+    counting_transition_matrix,
+    merge_tail,
+    propagate_counts,
+    validate_pmf,
+)
+
+__all__ = [
+    "MarkovChain",
+    "convolve_pmf",
+    "counting_transition_matrix",
+    "merge_tail",
+    "propagate_counts",
+    "validate_pmf",
+]

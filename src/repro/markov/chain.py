@@ -1,0 +1,160 @@
+"""A generic finite discrete-time Markov chain.
+
+The paper's counting chains (Figs. 5-7) are *substochastic* when the
+per-stage report distributions are truncated at ``g`` sensors: each row sums
+to the stage accuracy ``xi <= 1`` rather than exactly 1 (the missing mass is
+the ignored high-occupancy configurations, recovered later by Eq. 13's
+normalisation).  The chain class therefore supports both proper stochastic
+and substochastic transition matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MarkovChainError
+
+__all__ = ["MarkovChain"]
+
+_TOLERANCE = 1e-9
+
+
+class MarkovChain:
+    """A finite DTMC defined by a (sub)stochastic transition matrix.
+
+    Args:
+        transition_matrix: ``(n, n)`` array; entry ``(i, j)`` is the
+            probability of moving from state ``i`` to state ``j`` in one
+            step.
+        substochastic: when ``True``, rows may sum to less than 1 (leaked
+            mass is simply lost); when ``False`` (default), every row must
+            sum to 1 within tolerance.
+
+    Raises:
+        MarkovChainError: if the matrix is not square, has negative entries,
+            or violates the row-sum requirement.
+    """
+
+    def __init__(self, transition_matrix: np.ndarray, substochastic: bool = False):
+        matrix = np.asarray(transition_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise MarkovChainError(
+                f"transition matrix must be square, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0:
+            raise MarkovChainError("transition matrix must have at least one state")
+        if (matrix < -_TOLERANCE).any():
+            raise MarkovChainError("transition matrix has negative entries")
+        row_sums = matrix.sum(axis=1)
+        if (row_sums > 1.0 + _TOLERANCE).any():
+            raise MarkovChainError("transition matrix rows sum to more than 1")
+        if not substochastic and (np.abs(row_sums - 1.0) > _TOLERANCE).any():
+            raise MarkovChainError(
+                "transition matrix rows must sum to 1 (pass substochastic=True "
+                "to allow leaked mass)"
+            )
+        self._matrix = np.clip(matrix, 0.0, None)
+        self._substochastic = substochastic
+
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return self._matrix.shape[0]
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """A copy of the transition matrix."""
+        return self._matrix.copy()
+
+    @property
+    def is_substochastic(self) -> bool:
+        """Whether rows are allowed to sum to less than 1."""
+        return self._substochastic
+
+    def validate_distribution(self, distribution: Sequence[float]) -> np.ndarray:
+        """Check and normalise the dtype of a state distribution vector."""
+        dist = np.asarray(distribution, dtype=float)
+        if dist.shape != (self.num_states,):
+            raise MarkovChainError(
+                f"distribution must have shape ({self.num_states},), got {dist.shape}"
+            )
+        if (dist < -_TOLERANCE).any():
+            raise MarkovChainError("distribution has negative entries")
+        if dist.sum() > 1.0 + _TOLERANCE:
+            raise MarkovChainError("distribution sums to more than 1")
+        return np.clip(dist, 0.0, None)
+
+    def step(self, distribution: Sequence[float]) -> np.ndarray:
+        """Propagate a state distribution by one step: ``d @ T``."""
+        dist = self.validate_distribution(distribution)
+        return dist @ self._matrix
+
+    def run(self, distribution: Sequence[float], steps: int) -> np.ndarray:
+        """Propagate a state distribution by ``steps`` steps.
+
+        Uses repeated matrix squaring on the transition matrix when
+        ``steps`` is large relative to the state count, plain iteration
+        otherwise.
+        """
+        if steps < 0:
+            raise MarkovChainError(f"steps must be non-negative, got {steps}")
+        dist = self.validate_distribution(distribution)
+        for _ in range(steps):
+            dist = dist @ self._matrix
+        return dist
+
+    def power(self, steps: int) -> np.ndarray:
+        """The ``steps``-step transition matrix ``T**steps``."""
+        if steps < 0:
+            raise MarkovChainError(f"steps must be non-negative, got {steps}")
+        return np.linalg.matrix_power(self._matrix, steps)
+
+    def absorbing_states(self) -> np.ndarray:
+        """Indices of absorbing states (``T[i, i] == 1``)."""
+        diag = np.diag(self._matrix)
+        return np.flatnonzero(np.isclose(diag, 1.0, atol=_TOLERANCE))
+
+    def expected_steps_to_absorption(
+        self, absorbing: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Expected number of steps to reach an absorbing state.
+
+        Args:
+            absorbing: indices of the absorbing states; detected from the
+                diagonal when omitted.
+
+        Returns:
+            Array of expected absorption times for every *transient* state,
+            indexed by transient-state order (states not listed as
+            absorbing).
+
+        Raises:
+            MarkovChainError: if there are no absorbing states, the chain is
+                substochastic, or the fundamental matrix is singular (some
+                transient state cannot reach absorption).
+        """
+        if self._substochastic:
+            raise MarkovChainError(
+                "absorption analysis requires a proper stochastic matrix"
+            )
+        if absorbing is None:
+            absorbing_idx = self.absorbing_states()
+        else:
+            absorbing_idx = np.asarray(absorbing, dtype=int)
+        if absorbing_idx.size == 0:
+            raise MarkovChainError("chain has no absorbing states")
+        transient = np.setdiff1d(np.arange(self.num_states), absorbing_idx)
+        if transient.size == 0:
+            return np.zeros(0)
+        q = self._matrix[np.ix_(transient, transient)]
+        identity = np.eye(transient.size)
+        try:
+            times = np.linalg.solve(identity - q, np.ones(transient.size))
+        except np.linalg.LinAlgError as exc:
+            raise MarkovChainError(
+                "fundamental matrix is singular: some transient state never reaches "
+                "an absorbing state"
+            ) from exc
+        return times

@@ -1,0 +1,24 @@
+"""Multi-hop communication substrate (Section 4's connectivity argument)."""
+
+from repro.network.graph import (
+    BASE_STATION,
+    add_base_stations,
+    build_connectivity_graph,
+)
+from repro.network.latency import (
+    delivery_report,
+    hop_counts,
+    hop_counts_to_nearest,
+)
+from repro.network.routing import bfs_path, greedy_geographic_path
+
+__all__ = [
+    "BASE_STATION",
+    "add_base_stations",
+    "bfs_path",
+    "build_connectivity_graph",
+    "delivery_report",
+    "greedy_geographic_path",
+    "hop_counts",
+    "hop_counts_to_nearest",
+]

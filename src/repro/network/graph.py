@@ -1,0 +1,122 @@
+"""Geometric connectivity graphs over sensor deployments.
+
+Sparse sensor networks keep *communication* coverage even though sensing
+coverage is partial: communication range exceeds twice the sensing range
+(Section 1).  This module builds the unit-disk connectivity graph of a
+deployment — nodes within communication range share a (symmetric) link —
+plus an optional base station node, so the multi-hop delivery argument of
+Section 4 can be checked instead of assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import DeploymentError
+
+__all__ = ["BASE_STATION", "add_base_stations", "build_connectivity_graph"]
+
+#: Node key used for the base station in connectivity graphs.
+BASE_STATION = "base"
+
+
+def add_base_stations(
+    graph: "nx.Graph",
+    positions,
+    communication_range: float,
+):
+    """Add several base stations to an existing connectivity graph.
+
+    Large fields use multiple base stations (paper Section 1 speaks of
+    "base stations"); each is linked to every sensor within range.
+
+    Args:
+        graph: an existing connectivity graph (sensor nodes carry ``pos``).
+        positions: iterable of ``(x, y)`` base coordinates.
+        communication_range: link radius.
+
+    Returns:
+        The list of created base node keys (``("base", i)``).
+
+    Raises:
+        DeploymentError: on a non-positive range or empty positions.
+    """
+    position_list = [tuple(map(float, p)) for p in positions]
+    if not position_list:
+        raise DeploymentError("at least one base station position is required")
+    if communication_range <= 0:
+        raise DeploymentError(
+            f"communication_range must be positive, got {communication_range}"
+        )
+    range_sq = communication_range * communication_range
+    keys = []
+    sensor_nodes = [
+        (node, data["pos"])
+        for node, data in graph.nodes(data=True)
+        if "pos" in data and not (isinstance(node, tuple) and node and node[0] == "base")
+    ]
+    for index, (bx, by) in enumerate(position_list):
+        key = ("base", index)
+        graph.add_node(key, pos=(bx, by))
+        keys.append(key)
+        for node, (x, y) in sensor_nodes:
+            if (x - bx) ** 2 + (y - by) ** 2 <= range_sq:
+                graph.add_edge(node, key)
+    return keys
+
+
+def build_connectivity_graph(
+    positions: np.ndarray,
+    communication_range: float,
+    base_station: Optional[Tuple[float, float]] = None,
+) -> nx.Graph:
+    """Unit-disk graph of a deployment.
+
+    Args:
+        positions: ``(N, 2)`` sensor positions; sensor ``i`` becomes node
+            ``i`` with a ``pos`` attribute.
+        communication_range: link radius (unit-disk model).
+        base_station: optional ``(x, y)``; adds node
+            :data:`BASE_STATION` linked to every sensor within range.
+
+    Returns:
+        An undirected :class:`networkx.Graph`.
+
+    Raises:
+        DeploymentError: on malformed positions or non-positive range.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise DeploymentError(
+            f"positions must have shape (N, 2), got {positions.shape}"
+        )
+    if communication_range <= 0:
+        raise DeploymentError(
+            f"communication_range must be positive, got {communication_range}"
+        )
+
+    graph = nx.Graph()
+    for i, (x, y) in enumerate(positions):
+        graph.add_node(i, pos=(float(x), float(y)))
+
+    if positions.shape[0] > 1:
+        deltas = positions[:, None, :] - positions[None, :, :]
+        dist_sq = np.einsum("ijk,ijk->ij", deltas, deltas)
+        range_sq = communication_range * communication_range
+        sources, targets = np.nonzero(np.triu(dist_sq <= range_sq, k=1))
+        graph.add_edges_from(zip(sources.tolist(), targets.tolist()))
+
+    if base_station is not None:
+        bx, by = float(base_station[0]), float(base_station[1])
+        graph.add_node(BASE_STATION, pos=(bx, by))
+        if positions.shape[0]:
+            deltas = positions - np.array([bx, by])
+            dist_sq = np.einsum("ij,ij->i", deltas, deltas)
+            in_range = np.flatnonzero(
+                dist_sq <= communication_range * communication_range
+            )
+            graph.add_edges_from((int(i), BASE_STATION) for i in in_range)
+    return graph

@@ -1,0 +1,142 @@
+"""Delivery latency: can every report reach the base within one period?
+
+The paper's analysis is valid "as long as a sensor can send a packet to the
+base station through multi-hop networking within a single sensing period"
+(Section 4).  These helpers quantify that premise for a concrete
+deployment: hop counts to the base station and the fraction of nodes whose
+worst-case delivery time fits in the period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.network.graph import BASE_STATION
+
+__all__ = [
+    "hop_counts",
+    "hop_counts_to_nearest",
+    "delivery_report",
+    "DeliveryReport",
+]
+
+
+def hop_counts(graph: nx.Graph, base: Hashable = BASE_STATION) -> Dict[Hashable, int]:
+    """Minimum hops from every reachable node to ``base``.
+
+    Raises:
+        RoutingError: if ``base`` is not in the graph.
+    """
+    if base not in graph:
+        raise RoutingError(f"base node {base!r} not in graph")
+    return {
+        node: int(hops)
+        for node, hops in nx.single_source_shortest_path_length(graph, base).items()
+        if node != base
+    }
+
+
+def hop_counts_to_nearest(graph: nx.Graph, bases) -> Dict[Hashable, int]:
+    """Minimum hops from every reachable node to its *nearest* base.
+
+    Large fields deploy several base stations ("report detection
+    information back to base stations", paper Section 1); a sensor's
+    report goes to whichever it can reach in fewest hops.  Computed with
+    one multi-source BFS.
+
+    Args:
+        graph: the connectivity graph.
+        bases: iterable of base node keys, all present in the graph.
+
+    Raises:
+        RoutingError: if ``bases`` is empty or contains an unknown node.
+    """
+    base_list = list(bases)
+    if not base_list:
+        raise RoutingError("at least one base node is required")
+    for base in base_list:
+        if base not in graph:
+            raise RoutingError(f"base node {base!r} not in graph")
+    base_set = set(base_list)
+    distances = nx.multi_source_dijkstra_path_length(graph, base_set, weight=None)
+    return {
+        node: int(hops)
+        for node, hops in distances.items()
+        if node not in base_set
+    }
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Connectivity/latency summary of one deployment.
+
+    Attributes:
+        total_nodes: sensors in the deployment.
+        connected_nodes: sensors with any route to the base.
+        max_hops: largest hop count among connected sensors (0 if none).
+        mean_hops: average hop count among connected sensors (0.0 if none).
+        deliverable_nodes: connected sensors whose worst-case delivery time
+            ``hops * per_hop_latency`` fits within the sensing period.
+    """
+
+    total_nodes: int
+    connected_nodes: int
+    max_hops: int
+    mean_hops: float
+    deliverable_nodes: int
+
+    @property
+    def connected_fraction(self) -> float:
+        """Connected sensors / total sensors."""
+        return self.connected_nodes / self.total_nodes if self.total_nodes else 0.0
+
+    @property
+    def deliverable_fraction(self) -> float:
+        """In-time-deliverable sensors / total sensors."""
+        return self.deliverable_nodes / self.total_nodes if self.total_nodes else 0.0
+
+
+def delivery_report(
+    graph: nx.Graph,
+    period_length: float,
+    per_hop_latency: float,
+    base: Hashable = BASE_STATION,
+    bases=None,
+) -> DeliveryReport:
+    """Check the "delivered within one sensing period" premise.
+
+    Args:
+        graph: connectivity graph including the base node(s).
+        period_length: sensing period ``t`` in seconds.
+        per_hop_latency: worst-case seconds per hop (MAC + transmission +
+            propagation; underwater acoustic links are dominated by
+            propagation).
+        base: the base station's node key (single-base form).
+        bases: optional iterable of base node keys; when given, each
+            sensor delivers to its nearest base and ``base`` is ignored.
+
+    Raises:
+        RoutingError: if a base node is absent or latencies are invalid.
+    """
+    if period_length <= 0 or per_hop_latency <= 0:
+        raise RoutingError("period_length and per_hop_latency must be positive")
+    if bases is not None:
+        base_set = set(bases)
+        hops = hop_counts_to_nearest(graph, base_set)
+        sensor_nodes = [node for node in graph.nodes if node not in base_set]
+    else:
+        hops = hop_counts(graph, base)
+        sensor_nodes = [node for node in graph.nodes if node != base]
+    connected = list(hops.values())
+    budget = int(period_length // per_hop_latency)
+    return DeliveryReport(
+        total_nodes=len(sensor_nodes),
+        connected_nodes=len(connected),
+        max_hops=max(connected) if connected else 0,
+        mean_hops=sum(connected) / len(connected) if connected else 0.0,
+        deliverable_nodes=sum(1 for h in connected if h <= budget),
+    )

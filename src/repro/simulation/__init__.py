@@ -1,0 +1,35 @@
+"""Monte Carlo simulation substrate (the paper's Matlab simulator, Section 4)."""
+
+from repro.simulation.runner import (
+    MonteCarloSimulator,
+    SimulationResult,
+)
+from repro.simulation.sensing import sample_detections, segment_coverage
+from repro.simulation.stats import (
+    standard_error,
+    two_proportion_z_test,
+    wilson_interval,
+)
+from repro.simulation.streams import ReportStreamEpisode, simulate_report_stream
+from repro.simulation.targets import (
+    RandomWalkTarget,
+    StraightLineTarget,
+    VaryingSpeedTarget,
+    WaypointTarget,
+)
+
+__all__ = [
+    "MonteCarloSimulator",
+    "RandomWalkTarget",
+    "ReportStreamEpisode",
+    "SimulationResult",
+    "StraightLineTarget",
+    "VaryingSpeedTarget",
+    "WaypointTarget",
+    "sample_detections",
+    "segment_coverage",
+    "simulate_report_stream",
+    "standard_error",
+    "two_proportion_z_test",
+    "wilson_interval",
+]

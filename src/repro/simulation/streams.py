@@ -1,0 +1,326 @@
+"""Report-stream episodes: the bridge from simulation to online detection.
+
+The Monte Carlo runner (:mod:`repro.simulation.runner`) reduces each trial
+to count statistics, which is all the analytical validation needs.  A
+deployed base station instead consumes a *stream* of
+:class:`~repro.detection.reports.DetectionReport` objects, period by
+period.  :func:`simulate_report_stream` produces exactly that — real
+target detections plus optional node false alarms, with sensor identities
+and positions attached — ready to feed a
+:class:`~repro.detection.group.GroupDetector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.scenario import Scenario
+from repro.detection.reports import DetectionReport
+from repro.errors import SimulationError
+from repro.geometry.shapes import Point
+from repro.simulation.sensing import sample_detections, segment_coverage
+from repro.simulation.targets import StraightLineTarget
+
+__all__ = [
+    "MultiTargetEpisode",
+    "ReportStreamEpisode",
+    "simulate_multi_target_stream",
+    "simulate_report_stream",
+]
+
+_RngLike = Union[None, int, np.random.Generator]
+
+
+@dataclass(frozen=True)
+class ReportStreamEpisode:
+    """One surveillance episode as an online detector would see it.
+
+    Attributes:
+        scenario: the simulated scenario.
+        sensor_positions: ``(N, 2)`` deployment used in this episode.
+        waypoints: ``(M + 1, 2)`` target positions, or ``None`` for a quiet
+            (noise-only) episode.
+        periods: ``periods[p]`` is the list of reports of period ``p + 1``.
+        true_report_count: reports caused by the target (0 in quiet episodes).
+        false_report_count: reports caused by node false alarms.
+    """
+
+    scenario: Scenario
+    sensor_positions: np.ndarray
+    waypoints: Optional[np.ndarray]
+    periods: List[List[DetectionReport]]
+    true_report_count: int
+    false_report_count: int
+
+    def stream(self):
+        """Iterate ``(period, reports)`` pairs, 1-based, in order."""
+        for index, reports in enumerate(self.periods, start=1):
+            yield index, reports
+
+    @property
+    def total_report_count(self) -> int:
+        """All reports in the episode."""
+        return self.true_report_count + self.false_report_count
+
+
+def simulate_report_stream(
+    scenario: Scenario,
+    rng: _RngLike = None,
+    target=None,
+    target_present: bool = True,
+    false_alarm_prob: float = 0.0,
+    start: Optional[np.ndarray] = None,
+) -> ReportStreamEpisode:
+    """Generate one episode of per-period detection reports.
+
+    Args:
+        scenario: the model parameters (``window`` periods are simulated).
+        rng: ``None``, an integer seed, or a numpy Generator.
+        target: trajectory model; defaults to the scenario's straight-line
+            target.  Ignored when ``target_present`` is ``False``.
+        target_present: ``False`` generates a quiet, noise-only episode.
+        false_alarm_prob: per-sensor per-period false report probability.
+        start: optional fixed ``(2,)`` start position for the target;
+            random within the field otherwise.
+
+    Returns:
+        A :class:`ReportStreamEpisode`.
+
+    Raises:
+        SimulationError: on invalid arguments.
+    """
+    if not 0.0 <= false_alarm_prob < 1.0:
+        raise SimulationError(
+            f"false_alarm_prob must be in [0, 1), got {false_alarm_prob}"
+        )
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    field = scenario.field
+    sensors = generator.uniform(
+        (0.0, 0.0), (field.width, field.height), size=(scenario.num_sensors, 2)
+    )
+
+    waypoints = None
+    detected = np.zeros((scenario.num_sensors, scenario.window), dtype=bool)
+    if target_present:
+        model = target if target is not None else StraightLineTarget(
+            scenario.target_speed
+        )
+        if start is None:
+            starts = generator.uniform(
+                (0.0, 0.0), (field.width, field.height), size=(1, 2)
+            )
+        else:
+            starts = np.asarray(start, dtype=float).reshape(1, 2)
+        batch_waypoints = model.sample_waypoints(
+            starts, scenario.window, scenario.sensing_period, generator
+        )
+        waypoints = batch_waypoints[0]
+        coverage = segment_coverage(
+            sensors[None, ...], batch_waypoints, scenario.sensing_range
+        )
+        detected = sample_detections(coverage, scenario.detect_prob, generator)[0]
+
+    false_hits = np.zeros_like(detected)
+    if false_alarm_prob > 0.0:
+        false_hits = generator.random(detected.shape) < false_alarm_prob
+        false_hits &= ~detected
+
+    combined = detected | false_hits
+    periods: List[List[DetectionReport]] = []
+    for period_index in range(scenario.window):
+        nodes = np.flatnonzero(combined[:, period_index])
+        periods.append(
+            [
+                DetectionReport(
+                    int(node),
+                    period_index + 1,
+                    Point(float(sensors[node, 0]), float(sensors[node, 1])),
+                )
+                for node in nodes
+            ]
+        )
+    return ReportStreamEpisode(
+        scenario=scenario,
+        sensor_positions=sensors,
+        waypoints=waypoints,
+        periods=periods,
+        true_report_count=int(detected.sum()),
+        false_report_count=int(false_hits.sum()),
+    )
+
+
+@dataclass(frozen=True)
+class MultiTargetEpisode:
+    """One episode with several simultaneous targets (paper Sec. 6 future work).
+
+    Attributes:
+        scenario: the simulated scenario.
+        sensor_positions: ``(N, 2)`` deployment used in this episode.
+        waypoints: ``(T, M + 1, 2)`` — one waypoint row per target.
+        periods: ``periods[p]`` lists period ``p + 1``'s reports, all
+            targets merged (what the base station actually sees).
+        report_sources: parallel structure to ``periods``: the index of
+            the target that caused each report (false alarms use ``-1``).
+        per_target_report_counts: reports attributable to each target.
+        false_report_count: reports caused by node false alarms.
+    """
+
+    scenario: Scenario
+    sensor_positions: np.ndarray
+    waypoints: np.ndarray
+    periods: List[List[DetectionReport]]
+    report_sources: List[List[int]]
+    per_target_report_counts: np.ndarray
+    false_report_count: int
+
+    def stream(self):
+        """Iterate ``(period, reports)`` pairs, 1-based, in order."""
+        for index, reports in enumerate(self.periods, start=1):
+            yield index, reports
+
+    @property
+    def num_targets(self) -> int:
+        """How many targets cross during the episode."""
+        return self.waypoints.shape[0]
+
+    def detected_targets(self, threshold: Optional[int] = None) -> List[int]:
+        """Targets whose own reports meet the ``>= k`` rule."""
+        k = self.scenario.threshold if threshold is None else threshold
+        return [
+            t
+            for t in range(self.num_targets)
+            if self.per_target_report_counts[t] >= k
+        ]
+
+
+def simulate_multi_target_stream(
+    scenario: Scenario,
+    starts: np.ndarray,
+    rng: _RngLike = None,
+    headings: Optional[np.ndarray] = None,
+    false_alarm_prob: float = 0.0,
+) -> MultiTargetEpisode:
+    """Generate an episode where several targets cross simultaneously.
+
+    All targets move in straight lines at the scenario's speed.  When a
+    sensor is within range of more than one target in a period, it still
+    emits at most one report (a sensing decision, not a per-target one);
+    the report is attributed to the nearest target.
+
+    Args:
+        scenario: the model parameters.
+        starts: ``(T, 2)`` start positions, one per target.
+        rng: ``None``, an integer seed, or a numpy Generator.
+        headings: optional ``(T,)`` headings in radians; uniform otherwise.
+        false_alarm_prob: per-sensor per-period false report probability.
+
+    Returns:
+        A :class:`MultiTargetEpisode`.
+
+    Raises:
+        SimulationError: on malformed inputs.
+    """
+    if not 0.0 <= false_alarm_prob < 1.0:
+        raise SimulationError(
+            f"false_alarm_prob must be in [0, 1), got {false_alarm_prob}"
+        )
+    starts = np.asarray(starts, dtype=float)
+    if starts.ndim != 2 or starts.shape[1] != 2 or starts.shape[0] < 1:
+        raise SimulationError(f"starts must have shape (T, 2), got {starts.shape}")
+    num_targets = starts.shape[0]
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    field = scenario.field
+    sensors = generator.uniform(
+        (0.0, 0.0), (field.width, field.height), size=(scenario.num_sensors, 2)
+    )
+
+    if headings is not None:
+        headings = np.asarray(headings, dtype=float)
+        if headings.shape != (num_targets,):
+            raise SimulationError(
+                f"headings must have shape ({num_targets},), got {headings.shape}"
+            )
+        models = [
+            StraightLineTarget(scenario.target_speed, heading=float(h))
+            for h in headings
+        ]
+    else:
+        models = [StraightLineTarget(scenario.target_speed)] * num_targets
+
+    waypoints = np.empty((num_targets, scenario.window + 1, 2))
+    coverage = np.zeros(
+        (num_targets, scenario.num_sensors, scenario.window), dtype=bool
+    )
+    for t in range(num_targets):
+        batch = models[t].sample_waypoints(
+            starts[t : t + 1], scenario.window, scenario.sensing_period, generator
+        )
+        waypoints[t] = batch[0]
+        coverage[t] = segment_coverage(
+            sensors[None, ...], batch, scenario.sensing_range
+        )[0]
+
+    # One sensing decision per (sensor, period): detect if any covering
+    # target is detected (shared Bernoulli trial would under-count when
+    # two targets are in range; independent trials per target with an
+    # at-least-one rule matches the per-target Pd marginal).
+    per_target_hits = coverage & (
+        generator.random(coverage.shape) < scenario.detect_prob
+    )
+    any_hit = per_target_hits.any(axis=0)
+
+    false_hits = np.zeros_like(any_hit)
+    if false_alarm_prob > 0.0:
+        false_hits = generator.random(any_hit.shape) < false_alarm_prob
+        false_hits &= ~any_hit
+
+    # Attribute each real report to the nearest covering-and-hit target.
+    periods: List[List[DetectionReport]] = []
+    sources: List[List[int]] = []
+    per_target_counts = np.zeros(num_targets, dtype=np.int64)
+    for period_index in range(scenario.window):
+        period_reports: List[DetectionReport] = []
+        period_sources: List[int] = []
+        mid = 0.5 * (
+            waypoints[:, period_index, :] + waypoints[:, period_index + 1, :]
+        )  # (T, 2) segment midpoints
+        hit_nodes = np.flatnonzero(any_hit[:, period_index])
+        for node in hit_nodes:
+            candidates = np.flatnonzero(per_target_hits[:, node, period_index])
+            deltas = mid[candidates] - sensors[node]
+            nearest = candidates[int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))]
+            per_target_counts[nearest] += 1
+            period_reports.append(
+                DetectionReport(
+                    int(node),
+                    period_index + 1,
+                    Point(float(sensors[node, 0]), float(sensors[node, 1])),
+                )
+            )
+            period_sources.append(int(nearest))
+        for node in np.flatnonzero(false_hits[:, period_index]):
+            period_reports.append(
+                DetectionReport(
+                    int(node),
+                    period_index + 1,
+                    Point(float(sensors[node, 0]), float(sensors[node, 1])),
+                )
+            )
+            period_sources.append(-1)
+        periods.append(period_reports)
+        sources.append(period_sources)
+
+    return MultiTargetEpisode(
+        scenario=scenario,
+        sensor_positions=sensors,
+        waypoints=waypoints,
+        periods=periods,
+        report_sources=sources,
+        per_target_report_counts=per_target_counts,
+        false_report_count=int(false_hits.sum()),
+    )

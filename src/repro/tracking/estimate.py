@@ -1,0 +1,155 @@
+"""Least-squares track estimation from detection reports.
+
+Each detection report places the target within ``Rs`` of a known sensor at
+a known period, so the centroid of period-``p`` reporters estimates the
+target's period-``p`` position (error ~ ``Rs / sqrt(reporters)``).  A
+weighted total-least-squares line through the centroids, plus a regression
+of the along-track coordinate on the period index, recovers the straight
+constant-speed track of the paper's model: heading, speed, and position
+per period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.detection.reports import DetectionReport
+from repro.errors import AnalysisError
+
+__all__ = ["TrackEstimate", "estimate_track"]
+
+
+@dataclass(frozen=True)
+class TrackEstimate:
+    """A fitted straight constant-speed track.
+
+    The track's position at period ``p`` (midpoint-of-segment convention)
+    is ``centroid + direction * (offset + rate * p)``.
+
+    Attributes:
+        centroid: weighted mean of the per-period report centroids.
+        direction: unit vector along the estimated motion.
+        offset: along-track intercept of the period regression (meters).
+        rate: along-track distance per period (meters/period, signed
+            non-negative by the direction convention).
+        period_length: seconds per period (carried for speed conversion).
+        periods: sorted array of periods that contributed reports.
+        period_centroids: ``(len(periods), 2)`` reporter centroids.
+        report_counts: reports behind each centroid (regression weights).
+    """
+
+    centroid: np.ndarray
+    direction: np.ndarray
+    offset: float
+    rate: float
+    period_length: float
+    periods: np.ndarray
+    period_centroids: np.ndarray
+    report_counts: np.ndarray
+
+    @property
+    def speed(self) -> float:
+        """Estimated target speed in m/s."""
+        return self.rate / self.period_length
+
+    @property
+    def heading(self) -> float:
+        """Estimated heading in radians."""
+        return float(np.arctan2(self.direction[1], self.direction[0]))
+
+    def position_at(self, period: float) -> np.ndarray:
+        """Estimated target position at (fractional) period ``period``."""
+        return self.centroid + self.direction * (self.offset + self.rate * period)
+
+    def predicted_positions(self) -> np.ndarray:
+        """Positions at every observed period, ``(len(periods), 2)``."""
+        along = self.offset + self.rate * self.periods
+        return self.centroid[None, :] + along[:, None] * self.direction[None, :]
+
+
+def _period_centroids(
+    reports: Iterable[DetectionReport],
+) -> Dict[int, List[np.ndarray]]:
+    by_period: Dict[int, List[np.ndarray]] = {}
+    for report in reports:
+        by_period.setdefault(report.period, []).append(
+            np.array([report.position.x, report.position.y])
+        )
+    return by_period
+
+
+def estimate_track(
+    reports: Iterable[DetectionReport], period_length: float
+) -> TrackEstimate:
+    """Fit a straight constant-speed track to a set of reports.
+
+    Args:
+        reports: detection reports (any order); at least two distinct
+            periods must be represented.
+        period_length: sensing period ``t`` in seconds.
+
+    Returns:
+        The fitted :class:`TrackEstimate`.
+
+    Raises:
+        AnalysisError: with fewer than two distinct report periods, or
+            when the reporter geometry is degenerate (all centroids
+            coincide, leaving the direction unidentifiable).
+    """
+    if period_length <= 0:
+        raise AnalysisError(f"period_length must be positive, got {period_length}")
+    by_period = _period_centroids(reports)
+    if len(by_period) < 2:
+        raise AnalysisError(
+            f"track estimation needs reports from >= 2 distinct periods, "
+            f"got {len(by_period)}"
+        )
+
+    periods = np.array(sorted(by_period), dtype=float)
+    centroids = np.array(
+        [np.mean(by_period[int(p)], axis=0) for p in periods]
+    )
+    weights = np.array([len(by_period[int(p)]) for p in periods], dtype=float)
+
+    total_weight = weights.sum()
+    mean = (weights[:, None] * centroids).sum(axis=0) / total_weight
+    deltas = centroids - mean
+    covariance = (weights[:, None, None] * (
+        deltas[:, :, None] * deltas[:, None, :]
+    )).sum(axis=0) / total_weight
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    if eigenvalues[-1] <= 1e-12:
+        raise AnalysisError(
+            "all report centroids coincide; track direction unidentifiable"
+        )
+    direction = eigenvectors[:, -1]
+
+    # Regress the along-track coordinate on the period index.
+    along = deltas @ direction
+    period_mean = (weights * periods).sum() / total_weight
+    period_var = (weights * (periods - period_mean) ** 2).sum() / total_weight
+    if period_var <= 1e-12:
+        raise AnalysisError("reports span a single period; speed unidentifiable")
+    covariance_sp = (
+        weights * (periods - period_mean) * along
+    ).sum() / total_weight
+    rate = covariance_sp / period_var
+    if rate < 0:  # orient the line along the direction of motion
+        direction = -direction
+        along = -along
+        rate = -rate
+    offset = (weights * along).sum() / total_weight - rate * period_mean
+
+    return TrackEstimate(
+        centroid=mean,
+        direction=direction,
+        offset=float(offset),
+        rate=float(rate),
+        period_length=period_length,
+        periods=periods,
+        period_centroids=centroids,
+        report_counts=weights,
+    )

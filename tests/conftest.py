@@ -1,0 +1,49 @@
+"""Shared fixtures: scenarios at several scales."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import Scenario
+from repro.deployment.field import SensorField
+from repro.experiments.presets import onr_scenario, small_scenario
+
+
+@pytest.fixture
+def onr() -> Scenario:
+    """The paper's validation scenario at N=240, V=10 (ms=4)."""
+    return onr_scenario(num_sensors=240, speed=10.0)
+
+
+@pytest.fixture
+def onr_slow() -> Scenario:
+    """The paper's validation scenario at V=4 (ms=9)."""
+    return onr_scenario(num_sensors=240, speed=4.0)
+
+
+@pytest.fixture
+def small() -> Scenario:
+    """Down-scaled scenario for fast exact/simulation comparisons."""
+    return small_scenario()
+
+
+@pytest.fixture
+def tiny() -> Scenario:
+    """Minimal scenario with ms=1 (fast target) for edge-case coverage."""
+    return Scenario(
+        field=SensorField.square(4_000.0),
+        num_sensors=12,
+        sensing_range=100.0,
+        target_speed=20.0,
+        sensing_period=10.0,
+        detect_prob=0.8,
+        window=6,
+        threshold=2,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests that sample."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,77 @@
+"""Integration: truncated approaches vs the exact spatial oracle.
+
+The M-S-approach and S-approach are approximations of the same underlying
+model the exact oracle evaluates in closed form; these tests pin down how
+tight each approximation is at the paper's operating points.
+"""
+
+import pytest
+
+from repro.core.exact_spatial import ExactSpatialAnalysis
+from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.core.spatial import SApproach
+from repro.experiments.presets import onr_scenario
+
+
+class TestMsVsOracle:
+    @pytest.mark.parametrize("num_sensors", [60, 120, 240])
+    @pytest.mark.parametrize("speed", [4.0, 10.0])
+    def test_normalised_ms_close_to_exact(self, num_sensors, speed):
+        scenario = onr_scenario(num_sensors=num_sensors, speed=speed)
+        exact = ExactSpatialAnalysis(scenario).detection_probability()
+        analysed = MarkovSpatialAnalysis(
+            scenario, body_truncation=3
+        ).detection_probability()
+        # The paper reports the model is "extremely accurate"; at g = 3 the
+        # normalised result lands within half a percentage point.
+        assert analysed == pytest.approx(exact, abs=0.005)
+
+    def test_error_shrinks_with_truncation(self):
+        scenario = onr_scenario(num_sensors=240, speed=10.0)
+        exact = ExactSpatialAnalysis(scenario).detection_probability()
+        errors = [
+            abs(
+                MarkovSpatialAnalysis(
+                    scenario, body_truncation=g, head_truncation=g
+                ).detection_probability(normalize=False)
+                - exact
+            )
+            for g in (1, 2, 3, 5)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_normalisation_always_helps_at_paper_settings(self):
+        # Fig. 9(a) vs Fig. 9(b): normalised results beat raw ones.
+        for num_sensors in (120, 240):
+            scenario = onr_scenario(num_sensors=num_sensors, speed=10.0)
+            exact = ExactSpatialAnalysis(scenario).detection_probability()
+            analysis = MarkovSpatialAnalysis(scenario, 3)
+            raw_error = abs(analysis.detection_probability(normalize=False) - exact)
+            norm_error = abs(analysis.detection_probability(normalize=True) - exact)
+            assert norm_error < raw_error
+
+    def test_unnormalised_error_roughly_one_minus_eta(self):
+        # Eq. 14 is the mass the truncation drops; the unnormalised tail is
+        # low by about that much (slightly less since some dropped mass
+        # lies below the threshold).
+        scenario = onr_scenario(num_sensors=240, speed=10.0)
+        analysis = MarkovSpatialAnalysis(scenario, 3, 3)
+        exact = ExactSpatialAnalysis(scenario).detection_probability()
+        raw = analysis.detection_probability(normalize=False)
+        dropped = 1.0 - analysis.analysis_accuracy()
+        assert exact - raw == pytest.approx(dropped, abs=0.01)
+
+
+class TestSApproachVsOracle:
+    @pytest.mark.parametrize("speed", [4.0, 10.0])
+    def test_s_approach_converges_to_oracle(self, speed):
+        scenario = onr_scenario(num_sensors=120, speed=speed)
+        exact = ExactSpatialAnalysis(scenario).detection_probability()
+        analysed = SApproach(scenario, max_sensors=14).detection_probability()
+        assert analysed == pytest.approx(exact, abs=1e-3)
+
+    def test_s_and_ms_agree_with_each_other(self):
+        scenario = onr_scenario(num_sensors=180, speed=10.0)
+        s_result = SApproach(scenario, max_sensors=12).detection_probability()
+        ms_result = MarkovSpatialAnalysis(scenario, 4).detection_probability()
+        assert s_result == pytest.approx(ms_result, abs=0.005)

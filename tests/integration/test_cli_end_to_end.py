@@ -1,0 +1,65 @@
+"""Integration: every CLI experiment runs end-to-end at tiny scale."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import _EXPERIMENTS, main
+
+FAST_ANALYSIS_ONLY = ["fig8", "truncation", "false-alarms", "sensitivity", "rule"]
+FAST_SIMULATION = ["boundary", "duty", "sliding", "speed"]
+
+
+class TestCliExperiments:
+    @pytest.mark.parametrize("name", FAST_ANALYSIS_ONLY)
+    def test_analysis_experiments(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert "[" in out and "]" in out  # experiment header printed
+
+    @pytest.mark.parametrize("name", FAST_SIMULATION)
+    def test_simulation_experiments_tiny(self, name, capsys):
+        assert main([name, "--trials", "120", "--seed", "2"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_remaining_experiments_registered(self):
+        # Heavier experiments are at least registered and documented; they
+        # run in benchmarks/.
+        assert {"fig9a", "fig9b", "fig9c", "runtime", "multinode", "network",
+                "latency", "deployment", "netloss", "tracking", "multi",
+                "hetero", "drift", "m1", "bases"} <= set(_EXPERIMENTS)
+
+    def test_bases_experiment(self, capsys):
+        assert main(["bases", "--seed", "5"]) == 0
+        assert "EXT-BASES" in capsys.readouterr().out
+
+    def test_multinode_with_plot_and_json(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "multinode",
+                    "--trials",
+                    "150",
+                    "--seed",
+                    "4",
+                    "--plot",
+                    "--json",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "min_nodes" in out
+        payload = json.loads((tmp_path / "ext-h.json").read_text())
+        assert payload["experiment_id"] == "EXT-H"
+
+    def test_tracking_cli_small(self, capsys):
+        assert main(["tracking", "--trials", "900", "--seed", "3"]) == 0
+        assert "EXT-TRACK" in capsys.readouterr().out
+
+    def test_fig9a_tiny_with_plot(self, capsys):
+        assert main(["fig9a", "--trials", "120", "--seed", "5", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG9A" in out
+        assert "analysis (speed=4.0)" in out  # the ASCII chart legend

@@ -1,0 +1,101 @@
+"""Integration: the online GroupDetector reproduces the simulator's rule.
+
+The Monte Carlo runner counts reports with array arithmetic; a deployed
+system would run :class:`GroupDetector` on streaming reports.  Feeding the
+same detection events through both must give the same decision whenever the
+window covers the whole episode (M simulation periods = detector window).
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection.group import GroupDetector
+from repro.detection.reports import DetectionReport
+from repro.experiments.presets import small_scenario
+from repro.geometry.shapes import Point
+from repro.simulation.sensing import sample_detections, segment_coverage
+from repro.simulation.targets import StraightLineTarget
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_stream_decision_equals_batch_count(seed):
+    scenario = small_scenario()
+    rng = np.random.default_rng(seed)
+    batch = 64
+
+    sensors = rng.uniform(
+        (0.0, 0.0),
+        (scenario.field.width, scenario.field.height),
+        size=(batch, scenario.num_sensors, 2),
+    )
+    starts = rng.uniform(
+        (0.0, 0.0), (scenario.field.width, scenario.field.height), size=(batch, 2)
+    )
+    waypoints = StraightLineTarget(scenario.target_speed).sample_waypoints(
+        starts, scenario.window, scenario.sensing_period, rng
+    )
+    coverage = segment_coverage(sensors, waypoints, scenario.sensing_range)
+    detected = sample_detections(coverage, scenario.detect_prob, rng)
+
+    for b in range(batch):
+        batch_decision = detected[b].sum() >= scenario.threshold
+        detector = GroupDetector(
+            window=scenario.window, threshold=scenario.threshold
+        )
+        stream_decision = False
+        for period in range(1, scenario.window + 1):
+            nodes = np.flatnonzero(detected[b, :, period - 1])
+            reports = [
+                DetectionReport(
+                    int(node),
+                    period,
+                    Point(float(sensors[b, node, 0]), float(sensors[b, node, 1])),
+                )
+                for node in nodes
+            ]
+            stream_decision = detector.observe(period, reports) or stream_decision
+        assert stream_decision == batch_decision
+
+
+def test_track_filter_keeps_true_target_decisions(rng):
+    """With the speed-gate enabled at the true target speed, genuine
+    detections still fire (the filter never rejects a real track)."""
+    scenario = small_scenario()
+    sensors = rng.uniform(
+        (0.0, 0.0),
+        (scenario.field.width, scenario.field.height),
+        size=(1, scenario.num_sensors, 2),
+    )
+    # A deterministic central track.
+    start = np.array([[scenario.field.width * 0.2, scenario.field.height * 0.5]])
+    waypoints = StraightLineTarget(
+        scenario.target_speed, heading=0.0
+    ).sample_waypoints(start, scenario.window, scenario.sensing_period, rng)
+    coverage = segment_coverage(sensors, waypoints, scenario.sensing_range)
+    detected = sample_detections(coverage, 1.0, rng)
+
+    from repro.detection.track_filter import SpeedGateTrackFilter
+
+    gate = SpeedGateTrackFilter(
+        max_speed=scenario.target_speed,
+        sensing_range=scenario.sensing_range,
+        period_length=scenario.sensing_period,
+    )
+    plain = GroupDetector(scenario.window, scenario.threshold)
+    filtered = GroupDetector(
+        scenario.window, scenario.threshold, track_filter=gate
+    )
+    plain_fired = filtered_fired = False
+    for period in range(1, scenario.window + 1):
+        nodes = np.flatnonzero(detected[0, :, period - 1])
+        reports = [
+            DetectionReport(
+                int(node),
+                period,
+                Point(float(sensors[0, node, 0]), float(sensors[0, node, 1])),
+            )
+            for node in nodes
+        ]
+        plain_fired = plain.observe(period, reports) or plain_fired
+        filtered_fired = filtered.observe(period, reports) or filtered_fired
+    assert filtered_fired == plain_fired

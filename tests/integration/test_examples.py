@@ -1,0 +1,48 @@
+"""Integration: every shipped example runs end-to-end.
+
+Examples are the first thing users touch; these tests keep them from
+rotting.  Each example is executed in a subprocess (its own interpreter,
+like a user would) and checked for exit code 0 plus a keyword from its
+expected output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: (script, keyword expected in stdout)
+EXAMPLES = [
+    ("quickstart.py", "M-S-approach detection probability"),
+    ("parameter_study.py", "Sweep 4"),
+    ("multi_target_demo.py", "track candidates"),
+    ("latency_study.py", "mean latency"),
+    ("undersea_surveillance.py", "Step 3"),
+    ("border_monitoring.py", "track filter"),
+    ("fleet_procurement.py", "Winner"),
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("name,keyword", EXAMPLES)
+    def test_example_succeeds(self, name, keyword):
+        result = run_example(name)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert keyword in result.stdout, result.stdout[-2000:]
+
+    def test_every_example_file_is_covered(self):
+        shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        covered = {name for name, _ in EXAMPLES}
+        assert shipped == covered, shipped ^ covered

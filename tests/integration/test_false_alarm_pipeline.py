@@ -1,0 +1,47 @@
+"""Integration: false-alarm model vs simulation with injected false alarms."""
+
+import pytest
+
+from repro.core.false_alarms import window_false_alarm_probability
+from repro.experiments.presets import small_scenario
+from repro.simulation.runner import MonteCarloSimulator
+
+
+class TestFalseAlarmModelVsSimulation:
+    def test_noise_only_window_probability_matches_binomial(self):
+        """Simulate a network with false alarms; since the target crosses
+        it too, compare only the *false* report counts to the Binomial
+        model."""
+        import numpy as np
+
+        scenario = small_scenario(num_sensors=40)
+        pf = 0.002
+        result = MonteCarloSimulator(
+            scenario, trials=20_000, seed=3, false_alarm_prob=pf
+        ).run()
+        # False reports happen at non-covered or non-detected slots; the
+        # covered fraction is tiny, so Binomial(N*M, pf) is the model.
+        trials = scenario.num_sensors * scenario.window
+        expected_mean = trials * pf
+        assert result.false_report_counts.mean() == pytest.approx(
+            expected_mean, rel=0.1
+        )
+        for k in (1, 2):
+            simulated = float(np.mean(result.false_report_counts >= k))
+            modelled = window_false_alarm_probability(
+                scenario.num_sensors, scenario.window, pf, k
+            )
+            assert simulated == pytest.approx(modelled, abs=0.01), k
+
+    def test_false_alarms_raise_detection_probability(self):
+        """Section 2's remark: false alarms mixed with real detections only
+        increase the measured detection probability."""
+        scenario = small_scenario(num_sensors=40)
+        clean = MonteCarloSimulator(scenario, trials=8000, seed=4).run()
+        noisy = MonteCarloSimulator(
+            scenario, trials=8000, seed=4, false_alarm_prob=0.005
+        ).run()
+        assert (
+            noisy.detection_probability
+            >= clean.detection_probability - 0.01
+        )

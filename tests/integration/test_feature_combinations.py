@@ -1,0 +1,100 @@
+"""Integration: simulator features compose correctly.
+
+Each simulator option models a degradation (sleeping sensors, lost
+delivery, shorter ranges) or a neutral re-parameterisation.  These tests
+check the options *together*: the combined effect is ordered the way the
+individual effects predict, and neutral options stay neutral in
+combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deployment.drift import drift_deployment_strategy
+from repro.simulation.runner import MonteCarloSimulator
+
+TRIALS = 2500
+
+
+def detection(scenario, **kwargs) -> float:
+    return (
+        MonteCarloSimulator(scenario, trials=TRIALS, seed=71, **kwargs)
+        .run()
+        .detection_probability
+    )
+
+
+class TestDegradationsCompose:
+    def test_each_degradation_only_hurts(self, small):
+        baseline = detection(small)
+        duty = detection(small, duty_cycle=0.5)
+        short = detection(
+            small, sensing_ranges=np.full(small.num_sensors, small.sensing_range * 0.7)
+        )
+        noise = 3.0 / TRIALS**0.5
+        assert duty <= baseline + noise
+        assert short <= baseline + noise
+
+    def test_combined_degradation_below_each_single(self, small):
+        duty = detection(small, duty_cycle=0.5)
+        short_ranges = np.full(small.num_sensors, small.sensing_range * 0.7)
+        short = detection(small, sensing_ranges=short_ranges)
+        both = detection(small, duty_cycle=0.5, sensing_ranges=short_ranges)
+        noise = 3.0 / TRIALS**0.5
+        assert both <= duty + noise
+        assert both <= short + noise
+
+    def test_combined_duty_fold_still_exact(self, small):
+        """duty_cycle + heterogeneous ranges: the Pd fold commutes with
+        per-sensor ranges."""
+        from repro.core.heterogeneous import HeterogeneousExactAnalysis, SensorClass
+
+        half = small.num_sensors // 2
+        classes = [
+            SensorClass(half, small.sensing_range * 1.3),
+            SensorClass(small.num_sensors - half, small.sensing_range * 0.7),
+        ]
+        duty = 0.6
+        mixture = HeterogeneousExactAnalysis(
+            small.replace(detect_prob=small.detect_prob * duty), classes
+        )
+        simulated = detection(
+            small,
+            duty_cycle=duty,
+            sensing_ranges=HeterogeneousExactAnalysis(
+                small, classes
+            ).sensing_ranges(),
+        )
+        assert mixture.detection_probability() == pytest.approx(
+            simulated, abs=0.03
+        )
+
+
+class TestNeutralOptionsStayNeutral:
+    def test_drift_plus_duty_matches_plain_duty(self, small):
+        """Drift is a no-op in distribution, even combined with other
+        features."""
+        plain = detection(small, duty_cycle=0.7)
+        drifted = detection(
+            small,
+            duty_cycle=0.7,
+            deployment=drift_deployment_strategy(
+                small.sensing_range * 4, missions=2
+            ),
+        )
+        assert drifted == pytest.approx(plain, abs=4.0 / TRIALS**0.5)
+
+    def test_generous_communication_is_free(self, small):
+        plain = detection(small)
+        connected = detection(small, communication_range=1e6)
+        assert connected == pytest.approx(plain, abs=4.0 / TRIALS**0.5)
+
+    def test_latency_and_period_counts_do_not_change_statistics(self, small):
+        lean = MonteCarloSimulator(small, trials=800, seed=72).run()
+        rich = MonteCarloSimulator(
+            small, trials=800, seed=72, collect_period_counts=True
+        ).run()
+        np.testing.assert_array_equal(lean.report_counts, rich.report_counts)
+        np.testing.assert_array_equal(
+            lean.detection_periods, rich.detection_periods
+        )

@@ -1,0 +1,50 @@
+"""Integration: exact latency analysis vs the simulator's first crossings."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import DetectionLatencyAnalysis
+from repro.experiments.presets import onr_scenario
+from repro.simulation.runner import MonteCarloSimulator
+
+
+class TestLatencyAgreement:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        scenario = onr_scenario(num_sensors=240, speed=10.0)
+        analysis = DetectionLatencyAnalysis(scenario)
+        result = MonteCarloSimulator(scenario, trials=8000, seed=41).run()
+        return analysis, result
+
+    def test_cdf_pointwise_agreement(self, pair):
+        analysis, result = pair
+        analytical = analysis.detection_cdf()
+        simulated = result.latency_cdf()
+        np.testing.assert_allclose(analytical, simulated, atol=0.02)
+
+    def test_mean_latency_agreement(self, pair):
+        analysis, result = pair
+        assert analysis.expected_latency() == pytest.approx(
+            result.mean_latency(), abs=0.2
+        )
+
+    def test_quantiles_bracket_simulation(self, pair):
+        analysis, result = pair
+        simulated_cdf = result.latency_cdf()
+        for quantile in (0.25, 0.5, 0.75, 0.9):
+            p = analysis.latency_quantile(quantile)
+            assert p is not None
+            # The simulated CDF crosses the quantile within one period of
+            # the analytical crossing point.
+            assert simulated_cdf[min(p + 1, len(simulated_cdf) - 1)] >= quantile - 0.02
+            if p >= 2:
+                assert simulated_cdf[p - 2] <= quantile + 0.02
+
+    def test_slow_target_has_longer_latency(self):
+        fast = DetectionLatencyAnalysis(
+            onr_scenario(num_sensors=240, speed=10.0)
+        ).expected_latency()
+        slow = DetectionLatencyAnalysis(
+            onr_scenario(num_sensors=240, speed=4.0)
+        ).expected_latency()
+        assert slow > fast

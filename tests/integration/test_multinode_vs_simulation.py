@@ -1,0 +1,34 @@
+"""Integration: the multi-node (>= h nodes) extension vs simulation."""
+
+import pytest
+
+from repro.core.multinode import MultiNodeAnalysis
+from repro.experiments.presets import onr_scenario
+from repro.simulation.runner import MonteCarloSimulator
+
+
+class TestMultiNodeAgreement:
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        scenario = onr_scenario(num_sensors=240, speed=10.0)
+        return scenario, MonteCarloSimulator(scenario, trials=6000, seed=77).run()
+
+    @pytest.mark.parametrize("min_nodes", [1, 2, 3, 4])
+    def test_detection_probability_matches(self, simulated, min_nodes):
+        scenario, result = simulated
+        analysed = MultiNodeAnalysis(
+            scenario, min_nodes=min_nodes
+        ).detection_probability()
+        simulated_value = result.detection_probability_at(min_nodes=min_nodes)
+        assert analysed == pytest.approx(simulated_value, abs=0.02)
+
+    def test_node_requirement_only_bites_when_strict(self, simulated):
+        scenario, result = simulated
+        # With k = 5 reports and ms + 1 = 5 periods max coverage, a single
+        # node *can* produce all 5 reports, but it is rare; h = 2 should
+        # cost almost nothing, h = 4 should cost visibly more.
+        base = result.detection_probability_at(min_nodes=1)
+        h2 = result.detection_probability_at(min_nodes=2)
+        h4 = result.detection_probability_at(min_nodes=4)
+        assert base - h2 < 0.05
+        assert h2 >= h4

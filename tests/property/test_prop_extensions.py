@@ -1,0 +1,144 @@
+"""Property-based tests for the extension analyses."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact_spatial import ExactSpatialAnalysis
+from repro.core.false_alarms import (
+    minimum_safe_threshold,
+    window_false_alarm_probability,
+)
+from repro.core.heterogeneous import HeterogeneousExactAnalysis, SensorClass
+from repro.core.multinode import MultiNodeAnalysis
+from repro.core.scenario import Scenario
+from repro.deployment.field import SensorField
+
+
+def scenario_strategy():
+    @st.composite
+    def build(draw):
+        sensing_range = draw(st.floats(50.0, 400.0))
+        ratio = draw(st.floats(0.2, 1.2))
+        step = ratio * 2.0 * sensing_range
+        ms = math.ceil(2.0 * sensing_range / step)
+        window = ms + draw(st.integers(1, 8))
+        aregion = 2 * window * sensing_range * step + math.pi * sensing_range**2
+        side = math.sqrt(aregion) * draw(st.floats(4.0, 10.0))
+        return Scenario(
+            field=SensorField.square(side),
+            num_sensors=draw(st.integers(5, 40)),
+            sensing_range=sensing_range,
+            target_speed=step,
+            sensing_period=1.0,
+            detect_prob=draw(st.floats(0.4, 1.0)),
+            window=window,
+            threshold=draw(st.integers(1, 4)),
+        )
+
+    return build()
+
+
+class TestMultiNodeProperties:
+    @given(scenario=scenario_strategy(), h=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_joint_marginal_consistency(self, scenario, h):
+        """Summing the node axis recovers the report-count distribution."""
+        from repro.core.markov_spatial import MarkovSpatialAnalysis
+
+        joint = MultiNodeAnalysis(
+            scenario, min_nodes=h, body_truncation=2
+        ).joint_distribution()
+        marginal = joint.sum(axis=0)
+        reference = MarkovSpatialAnalysis(
+            scenario, body_truncation=2
+        ).report_count_distribution()
+        np.testing.assert_allclose(
+            marginal[: reference.size], reference, atol=1e-9
+        )
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_detection_monotone_in_h(self, scenario):
+        values = [
+            MultiNodeAnalysis(
+                scenario, min_nodes=h, body_truncation=2
+            ).detection_probability()
+            for h in (1, 2, 3)
+        ]
+        assert values[0] >= values[1] - 1e-12 >= values[2] - 2e-12
+
+
+class TestHeterogeneousProperties:
+    @given(
+        scenario=scenario_strategy(),
+        split=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equal_range_split_matches_oracle(self, scenario, split):
+        count_a = max(1, int(scenario.num_sensors * split))
+        count_b = scenario.num_sensors - count_a
+        classes = [SensorClass(count_a, scenario.sensing_range)]
+        if count_b:
+            classes.append(SensorClass(count_b, scenario.sensing_range))
+        mixture = HeterogeneousExactAnalysis(scenario, classes)
+        oracle = ExactSpatialAnalysis(scenario)
+        assert mixture.detection_probability() == pytest.approx(
+            oracle.detection_probability(), abs=1e-10
+        )
+
+    @given(scenario=scenario_strategy(), factor=st.floats(1.05, 1.8))
+    @settings(max_examples=30, deadline=None)
+    def test_upgrading_part_of_the_fleet_helps(self, scenario, factor):
+        half = scenario.num_sensors // 2
+        if half == 0:
+            return
+        base = HeterogeneousExactAnalysis(
+            scenario, [SensorClass(scenario.num_sensors, scenario.sensing_range)]
+        ).detection_probability()
+        upgraded = HeterogeneousExactAnalysis(
+            scenario,
+            [
+                SensorClass(half, scenario.sensing_range * factor),
+                SensorClass(
+                    scenario.num_sensors - half, scenario.sensing_range
+                ),
+            ],
+        ).detection_probability()
+        assert upgraded >= base - 1e-12
+
+
+class TestFalseAlarmProperties:
+    @given(
+        n=st.integers(1, 500),
+        m=st.integers(1, 40),
+        pf=st.floats(1e-6, 0.05),
+        budget=st.floats(1e-9, 0.1),
+    )
+    @settings(max_examples=150)
+    def test_minimum_threshold_is_minimal_and_safe(self, n, m, pf, budget):
+        k = minimum_safe_threshold(n, m, pf, budget)
+        assert window_false_alarm_probability(n, m, pf, k) <= budget
+        if k > 1:
+            assert window_false_alarm_probability(n, m, pf, k - 1) > budget
+
+    @given(
+        n=st.integers(1, 500),
+        m=st.integers(1, 40),
+        pf=st.floats(0.0, 0.5),
+        k=st.integers(1, 20),
+    )
+    @settings(max_examples=150)
+    def test_window_probability_is_probability(self, n, m, pf, k):
+        p = window_false_alarm_probability(n, m, pf, k)
+        assert 0.0 <= p <= 1.0
+
+
+class TestScenarioSerializationProperties:
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=100)
+    def test_round_trip_identity(self, scenario):
+        assert Scenario.from_dict(scenario.to_dict()) == scenario

@@ -1,0 +1,134 @@
+"""Property-based tests for window regions, latency, and design tools."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import minimum_sensors
+from repro.core.exact_spatial import ExactSpatialAnalysis
+from repro.core.latency import DetectionLatencyAnalysis
+from repro.core.regions import s_approach_regions, window_regions
+from repro.core.scenario import Scenario
+from repro.deployment.field import SensorField
+
+
+def scenario_strategy(max_window_extra=10):
+    @st.composite
+    def build(draw):
+        sensing_range = draw(st.floats(50.0, 500.0))
+        ratio = draw(st.floats(0.15, 1.5))
+        step = ratio * 2.0 * sensing_range
+        ms = math.ceil(2.0 * sensing_range / step)
+        window = draw(st.integers(1, ms + max_window_extra))
+        num_sensors = draw(st.integers(5, 60))
+        aregion = 2 * window * sensing_range * step + math.pi * sensing_range**2
+        side = math.sqrt(aregion) * draw(st.floats(4.0, 12.0))
+        return Scenario(
+            field=SensorField.square(side),
+            num_sensors=num_sensors,
+            sensing_range=sensing_range,
+            target_speed=step,
+            sensing_period=1.0,
+            detect_prob=draw(st.floats(0.3, 1.0)),
+            window=window,
+            threshold=draw(st.integers(1, 5)),
+        )
+
+    return build()
+
+
+class TestWindowRegionProperties:
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_coverage_weighted_total_is_period_times_dr(self, scenario):
+        """sum_i i * Region_p(i) == p * dr_area: each period's DR is counted
+        once per period of coverage."""
+        for periods in range(1, scenario.window + 1):
+            regions = window_regions(scenario, periods)
+            weighted = float(np.arange(regions.size) @ regions)
+            assert weighted == pytest.approx(
+                periods * scenario.dr_area, rel=1e-9
+            ), periods
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_totals_grow_by_nedr_per_period(self, scenario):
+        totals = [
+            window_regions(scenario, p).sum()
+            for p in range(1, scenario.window + 1)
+        ]
+        assert totals[0] == pytest.approx(scenario.dr_area, rel=1e-9)
+        for earlier, later in zip(totals, totals[1:]):
+            assert later - earlier == pytest.approx(
+                scenario.nedr_body_area, rel=1e-9
+            )
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_full_window_matches_s_approach_when_applicable(self, scenario):
+        if not scenario.has_body_stage:
+            return
+        np.testing.assert_allclose(
+            window_regions(scenario, scenario.window),
+            s_approach_regions(scenario),
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative(self, scenario):
+        for periods in (1, scenario.window):
+            assert (window_regions(scenario, periods) >= 0.0).all()
+
+
+class TestLatencyProperties:
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_monotone_and_consistent_with_oracle(self, scenario):
+        latency = DetectionLatencyAnalysis(scenario)
+        cdf = latency.detection_cdf()
+        assert cdf[0] == 0.0
+        assert np.all(np.diff(cdf) >= -1e-12)
+        exact = ExactSpatialAnalysis(scenario).detection_probability()
+        assert cdf[-1] == pytest.approx(exact, abs=1e-9)
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_pmf_valid(self, scenario):
+        pmf = DetectionLatencyAnalysis(scenario).latency_pmf()
+        assert (pmf >= -1e-12).all()
+        assert pmf.sum() <= 1.0 + 1e-9
+
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_expected_latency_bounded_by_quantiles(self, scenario):
+        latency = DetectionLatencyAnalysis(scenario)
+        cdf = latency.detection_cdf()
+        if cdf[-1] < 0.1:
+            return  # too rarely detected for meaningful statistics
+        expected = latency.expected_latency()
+        assert 1.0 <= expected <= scenario.window
+
+
+class TestDesignProperties:
+    @given(scenario=scenario_strategy(max_window_extra=8), data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_minimum_sensors_is_minimal(self, scenario, data):
+        if not scenario.has_body_stage:
+            return
+        requirement = data.draw(st.floats(0.2, 0.9))
+        n = minimum_sensors(scenario, requirement, max_sensors=300)
+        if n is None:
+            return
+        from repro.core.design import detection_probability
+
+        assert detection_probability(scenario.replace(num_sensors=n)) >= requirement
+        if n > 1:
+            assert (
+                detection_probability(scenario.replace(num_sensors=n - 1))
+                < requirement
+            )

@@ -1,0 +1,123 @@
+"""Property-based tests for the region decomposition (Eqs. 6, 8, 10)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import (
+    area_b,
+    area_h_closed_form,
+    area_h_literal,
+    area_t,
+    s_approach_regions,
+)
+from repro.core.scenario import Scenario
+from repro.deployment.field import SensorField
+
+
+def geometry_strategy():
+    """(sensing_range, step_length, ms) triples with consistent ms."""
+
+    @st.composite
+    def build(draw):
+        sensing_range = draw(st.floats(10.0, 5_000.0))
+        # Step between 5% and 300% of the sensing diameter.
+        ratio = draw(st.floats(0.05, 3.0))
+        step = ratio * 2.0 * sensing_range
+        ms = math.ceil(2.0 * sensing_range / step)
+        return sensing_range, step, ms
+
+    return build()
+
+
+class TestAreaHProperties:
+    @given(geometry=geometry_strategy())
+    @settings(max_examples=200)
+    def test_literal_equals_closed_form(self, geometry):
+        # The two formulations accumulate floating-point cancellation
+        # differently when a circle pair approaches tangency
+        # ((i-1)*step -> 2*Rs), where both involve differences of nearly
+        # equal lens terms; agreement to 6 significant digits is the
+        # strongest claim that survives hypothesis's adversarial geometry.
+        rs, step, ms = geometry
+        np.testing.assert_allclose(
+            area_h_literal(rs, step, ms),
+            area_h_closed_form(rs, step, ms),
+            rtol=1e-6,
+            atol=1e-4,
+        )
+
+    @given(geometry=geometry_strategy())
+    @settings(max_examples=200)
+    def test_non_negative_and_sums_to_dr(self, geometry):
+        rs, step, ms = geometry
+        areas = area_h_closed_form(rs, step, ms)
+        assert (areas >= -1e-6).all()
+        assert areas.sum() == pytest.approx(
+            2.0 * rs * step + math.pi * rs * rs, rel=1e-9
+        )
+
+
+class TestAreaBTProperties:
+    @given(geometry=geometry_strategy())
+    @settings(max_examples=200)
+    def test_body_non_negative_sums_to_nedr(self, geometry):
+        rs, step, ms = geometry
+        body = area_b(area_h_closed_form(rs, step, ms))
+        assert (body >= -1e-6).all()
+        assert body.sum() == pytest.approx(2.0 * rs * step, rel=1e-9)
+
+    @given(geometry=geometry_strategy(), data=st.data())
+    @settings(max_examples=200)
+    def test_tail_preserves_mass_and_truncates(self, geometry, data):
+        rs, step, ms = geometry
+        body = area_b(area_h_closed_form(rs, step, ms))
+        j = data.draw(st.integers(1, ms))
+        tail = area_t(body, j)
+        assert tail.sum() == pytest.approx(body.sum(), rel=1e-9)
+        assert (tail[ms + 2 - j :] == 0.0).all()
+
+
+class TestRegionMonteCarloAgreement:
+    @given(
+        ratio=st.floats(0.15, 1.5),
+        window_extra=st.integers(1, 10),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_regions_match_sampled_coverage(self, ratio, window_extra, seed):
+        """Closed-form Region(i) areas match direct geometric sampling."""
+        from repro.geometry.coverage import estimate_coverage_count_areas
+
+        sensing_range = 100.0
+        step = ratio * 2.0 * sensing_range
+        ms = math.ceil(2.0 * sensing_range / step)
+        window = ms + window_extra
+        scenario = Scenario(
+            field=SensorField.square(1e5),
+            num_sensors=10,
+            sensing_range=sensing_range,
+            target_speed=step,
+            sensing_period=1.0,
+            detect_prob=0.9,
+            window=window,
+            threshold=1,
+        )
+        regions = s_approach_regions(scenario)
+        sampled = estimate_coverage_count_areas(
+            sensing_range,
+            step,
+            window,
+            samples=150_000,
+            rng=np.random.default_rng(seed),
+        )
+        total = regions.sum()
+        for coverage, area in sampled.items():
+            # Compare as fractions of the ARegion with additive tolerance:
+            # tiny slivers have large relative MC noise.
+            assert regions[coverage] / total == pytest.approx(
+                area / total, abs=0.02
+            ), f"coverage={coverage}"

@@ -1,0 +1,118 @@
+"""Property-based tests for the simulation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deployment.field import SensorField
+from repro.simulation.sensing import segment_coverage
+from repro.simulation.targets import RandomWalkTarget, StraightLineTarget
+
+
+class TestCoverageProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        sensing_range=st.floats(1.0, 50.0),
+        num_periods=st.integers(1, 15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_straight_line_coverage_is_contiguous(
+        self, seed, sensing_range, num_periods
+    ):
+        """A sensor covers a straight-moving target in consecutive periods."""
+        rng = np.random.default_rng(seed)
+        sensors = rng.uniform(0, 500, size=(1, 30, 2))
+        starts = rng.uniform(0, 500, size=(1, 2))
+        waypoints = StraightLineTarget(10.0).sample_waypoints(
+            starts, num_periods, 2.0, rng
+        )
+        coverage = segment_coverage(sensors, waypoints, sensing_range)[0]
+        for row in coverage:
+            hits = np.flatnonzero(row)
+            if hits.size > 1:
+                assert np.all(np.diff(hits) == 1)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        sensing_range=st.floats(1.0, 40.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_coverage_monotone_in_range(self, seed, sensing_range):
+        rng = np.random.default_rng(seed)
+        sensors = rng.uniform(0, 300, size=(1, 20, 2))
+        starts = rng.uniform(0, 300, size=(1, 2))
+        waypoints = RandomWalkTarget(8.0).sample_waypoints(starts, 6, 2.0, rng)
+        small = segment_coverage(sensors, waypoints, sensing_range)
+        large = segment_coverage(sensors, waypoints, sensing_range * 1.5)
+        assert not np.any(small & ~large)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_torus_coverage_superset_of_plain_for_interior_tracks(self, seed):
+        """For tracks far from the boundary, wrapping changes nothing; in
+        general wrapping can only reveal sensors near the opposite edge."""
+        rng = np.random.default_rng(seed)
+        field = SensorField(1000.0, 1000.0)
+        sensors = rng.uniform(0, 1000, size=(1, 40, 2))
+        # Track confined to the middle of the field.
+        starts = rng.uniform(400, 600, size=(1, 2))
+        waypoints = StraightLineTarget(5.0).sample_waypoints(starts, 8, 2.0, rng)
+        plain = segment_coverage(sensors, waypoints, 30.0)
+        wrapped = segment_coverage(sensors, waypoints, 30.0, field=field, wrap=True)
+        np.testing.assert_array_equal(plain, wrapped)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        ms_coverage_bound=st.just(None),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_periods_bounded_by_chord(self, seed, ms_coverage_bound):
+        """A sensor cannot cover the target for more than ms + 1 periods."""
+        import math
+
+        rng = np.random.default_rng(seed)
+        sensing_range = 25.0
+        speed, period = 10.0, 2.0
+        step = speed * period
+        ms = math.ceil(2 * sensing_range / step)
+        sensors = rng.uniform(0, 400, size=(1, 50, 2))
+        starts = rng.uniform(0, 400, size=(1, 2))
+        waypoints = StraightLineTarget(speed).sample_waypoints(starts, 30, period, rng)
+        coverage = segment_coverage(sensors, waypoints, sensing_range)[0]
+        assert coverage.sum(axis=1).max() <= ms + 1
+
+
+class TestTargetProperties:
+    @given(
+        seed=st.integers(0, 2**31),
+        speed=st.floats(0.5, 50.0),
+        period=st.floats(0.5, 20.0),
+        num_periods=st.integers(1, 20),
+    )
+    @settings(max_examples=100)
+    def test_straight_line_step_lengths(self, seed, speed, period, num_periods):
+        rng = np.random.default_rng(seed)
+        starts = rng.uniform(0, 100, size=(4, 2))
+        waypoints = StraightLineTarget(speed).sample_waypoints(
+            starts, num_periods, period, rng
+        )
+        steps = np.linalg.norm(np.diff(waypoints, axis=1), axis=2)
+        np.testing.assert_allclose(steps, speed * period, rtol=1e-9)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        max_turn=st.floats(0.0, np.pi / 2),
+    )
+    @settings(max_examples=100)
+    def test_random_walk_turn_bound(self, seed, max_turn):
+        rng = np.random.default_rng(seed)
+        starts = rng.uniform(0, 100, size=(2, 2))
+        waypoints = RandomWalkTarget(5.0, max_turn=max_turn).sample_waypoints(
+            starts, 15, 2.0, rng
+        )
+        deltas = np.diff(waypoints, axis=1)
+        headings = np.arctan2(deltas[..., 1], deltas[..., 0])
+        turns = np.diff(headings, axis=1)
+        turns = (turns + np.pi) % (2 * np.pi) - np.pi
+        assert np.abs(turns).max() <= max_turn + 1e-9

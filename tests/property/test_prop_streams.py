@@ -1,0 +1,125 @@
+"""Property-based tests for report-stream episodes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scenario import Scenario
+from repro.deployment.field import SensorField
+from repro.simulation.streams import (
+    simulate_multi_target_stream,
+    simulate_report_stream,
+)
+
+
+def scenario_strategy():
+    @st.composite
+    def build(draw):
+        sensing_range = draw(st.floats(50.0, 300.0))
+        ratio = draw(st.floats(0.2, 1.2))
+        step = ratio * 2.0 * sensing_range
+        ms = math.ceil(2.0 * sensing_range / step)
+        window = ms + draw(st.integers(1, 8))
+        aregion = 2 * window * sensing_range * step + math.pi * sensing_range**2
+        side = math.sqrt(aregion) * draw(st.floats(4.0, 9.0))
+        return Scenario(
+            field=SensorField.square(side),
+            num_sensors=draw(st.integers(3, 30)),
+            sensing_range=sensing_range,
+            target_speed=step,
+            sensing_period=1.0,
+            detect_prob=draw(st.floats(0.3, 1.0)),
+            window=window,
+            threshold=1,
+        )
+
+    return build()
+
+
+class TestSingleTargetStreamProperties:
+    @given(scenario=scenario_strategy(), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_episode_invariants(self, scenario, seed):
+        episode = simulate_report_stream(scenario, rng=seed, false_alarm_prob=0.01)
+        assert len(episode.periods) == scenario.window
+        total = 0
+        node_period_pairs = set()
+        for period, reports in episode.stream():
+            for report in reports:
+                assert report.period == period
+                assert 0 <= report.node_id < scenario.num_sensors
+                # A sensor reports at most once per period.
+                assert (report.node_id, period) not in node_period_pairs
+                node_period_pairs.add((report.node_id, period))
+                total += 1
+        assert total == episode.total_report_count
+        assert (
+            episode.total_report_count
+            == episode.true_report_count + episode.false_report_count
+        )
+
+    @given(scenario=scenario_strategy(), seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_true_reporters_within_range_of_track(self, scenario, seed):
+        """Without false alarms, every reporter must be within Rs of the
+        period's path segment."""
+        episode = simulate_report_stream(scenario, rng=seed)
+        for period, reports in episode.stream():
+            start = episode.waypoints[period - 1]
+            end = episode.waypoints[period]
+            seg = end - start
+            seg_len_sq = float(seg @ seg)
+            for report in reports:
+                point = np.array([report.position.x, report.position.y])
+                rel = point - start
+                t = 0.0 if seg_len_sq == 0 else np.clip(rel @ seg / seg_len_sq, 0, 1)
+                distance = np.linalg.norm(rel - t * seg)
+                assert distance <= scenario.sensing_range + 1e-6
+
+
+class TestMultiTargetStreamProperties:
+    @given(
+        scenario=scenario_strategy(),
+        seed=st.integers(0, 2**31),
+        num_targets=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multi_episode_invariants(self, scenario, seed, num_targets):
+        rng = np.random.default_rng(seed)
+        starts = rng.uniform(
+            0, scenario.field.width, size=(num_targets, 2)
+        )
+        episode = simulate_multi_target_stream(scenario, starts, rng=rng)
+        assert episode.num_targets == num_targets
+        assert episode.per_target_report_counts.sum() + 0 == sum(
+            1 for _, reports in episode.stream() for _ in reports
+        )
+        for reports, sources in zip(episode.periods, episode.report_sources):
+            assert len(reports) == len(sources)
+            for source in sources:
+                assert -1 <= source < num_targets
+
+    @given(scenario=scenario_strategy(), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_attributed_reports_within_range_of_their_target(self, scenario, seed):
+        rng = np.random.default_rng(seed)
+        starts = rng.uniform(0, scenario.field.width, size=(2, 2))
+        episode = simulate_multi_target_stream(scenario, starts, rng=rng)
+        for period_index, (reports, sources) in enumerate(
+            zip(episode.periods, episode.report_sources)
+        ):
+            for report, source in zip(reports, sources):
+                if source < 0:
+                    continue
+                start = episode.waypoints[source, period_index]
+                end = episode.waypoints[source, period_index + 1]
+                seg = end - start
+                seg_len_sq = float(seg @ seg)
+                point = np.array([report.position.x, report.position.y])
+                rel = point - start
+                t = 0.0 if seg_len_sq == 0 else np.clip(rel @ seg / seg_len_sq, 0, 1)
+                distance = np.linalg.norm(rel - t * seg)
+                assert distance <= scenario.sensing_range + 1e-6

@@ -1,0 +1,158 @@
+"""Property-based tests for the tracking subsystem."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.reports import DetectionReport
+from repro.detection.track_filter import SpeedGateTrackFilter
+from repro.geometry.shapes import Point
+from repro.tracking import cluster_reports, cross_track_rmse, estimate_track
+
+
+def track_reports_strategy():
+    """Reports sampled near a random straight constant-speed track."""
+
+    @st.composite
+    def build(draw):
+        heading = draw(st.floats(0.0, 2.0 * math.pi))
+        speed = draw(st.floats(1.0, 30.0))
+        period_length = draw(st.floats(10.0, 120.0))
+        origin = np.array(
+            [draw(st.floats(-1e4, 1e4)), draw(st.floats(-1e4, 1e4))]
+        )
+        direction = np.array([math.cos(heading), math.sin(heading)])
+        noise = draw(st.floats(0.0, 50.0))
+        seed = draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        num_periods = draw(st.integers(3, 15))
+        reports = []
+        for p in range(1, num_periods + 1):
+            count = draw(st.integers(1, 3))
+            midpoint = origin + direction * speed * period_length * (p - 0.5)
+            for c in range(count):
+                offset = rng.normal(0.0, max(noise, 1e-9), size=2)
+                position = midpoint + offset
+                reports.append(
+                    DetectionReport(
+                        p * 10 + c, p, Point(float(position[0]), float(position[1]))
+                    )
+                )
+        waypoints = np.array(
+            [origin + direction * speed * period_length * p for p in range(num_periods + 1)]
+        )
+        return reports, waypoints, speed, period_length, noise
+
+    return build()
+
+
+class TestEstimateTrackProperties:
+    @given(data=track_reports_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_errors_scale_with_noise(self, data):
+        reports, waypoints, speed, period_length, noise = data
+        try:
+            estimate = estimate_track(reports, period_length)
+        except Exception:
+            return  # degenerate geometry sampled; fine
+        # Cross-track error bounded by a few noise standard deviations.
+        assert cross_track_rmse(estimate, waypoints) <= 6.0 * noise + 1.0
+
+    @given(data=track_reports_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_speed_estimate_reasonable(self, data):
+        reports, waypoints, speed, period_length, noise = data
+        try:
+            estimate = estimate_track(reports, period_length)
+        except Exception:
+            return
+        # Noise of sigma meters over steps of speed*period meters bounds
+        # the speed error; generous constant for small samples.
+        step = speed * period_length
+        assert abs(estimate.speed - speed) <= speed * (8.0 * noise / step + 0.05) + 0.1
+
+    @given(
+        data=track_reports_strategy(),
+        dx=st.floats(-1e5, 1e5),
+        dy=st.floats(-1e5, 1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_translation_equivariance(self, data, dx, dy):
+        reports, _, _, period_length, _ = data
+        try:
+            base = estimate_track(reports, period_length)
+        except Exception:
+            return
+        shifted = [
+            DetectionReport(
+                r.node_id, r.period, Point(r.position.x + dx, r.position.y + dy)
+            )
+            for r in reports
+        ]
+        moved = estimate_track(shifted, period_length)
+        for p in (1.0, 3.0):
+            np.testing.assert_allclose(
+                moved.position_at(p),
+                base.position_at(p) + np.array([dx, dy]),
+                rtol=1e-6,
+                atol=1e-3,
+            )
+
+    @given(data=track_reports_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_speed_always_non_negative(self, data):
+        reports, _, _, period_length, _ = data
+        try:
+            estimate = estimate_track(reports, period_length)
+        except Exception:
+            return
+        assert estimate.rate >= 0.0
+        assert np.linalg.norm(estimate.direction) == pytest.approx(1.0)
+
+
+class TestClusterProperties:
+    @given(data=track_reports_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_clusters_are_disjoint_subsets(self, data):
+        reports, _, speed, period_length, _ = data
+        gate = SpeedGateTrackFilter(
+            max_speed=2 * speed,
+            sensing_range=100.0,
+            period_length=period_length,
+        )
+        clusters = cluster_reports(reports, gate)
+        seen = set()
+        for cluster in clusters:
+            for report in cluster:
+                assert id(report) not in seen
+                seen.add(id(report))
+        all_ids = {id(r) for r in reports}
+        assert seen <= all_ids
+
+    @given(data=track_reports_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_every_cluster_is_gate_feasible(self, data):
+        reports, _, speed, period_length, _ = data
+        gate = SpeedGateTrackFilter(
+            max_speed=2 * speed,
+            sensing_range=100.0,
+            period_length=period_length,
+        )
+        for cluster in cluster_reports(reports, gate):
+            assert gate.feasible(cluster)
+
+    @given(data=track_reports_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_single_track_with_generous_gate_is_one_cluster(self, data):
+        reports, _, speed, period_length, noise = data
+        gate = SpeedGateTrackFilter(
+            max_speed=2 * speed,
+            sensing_range=200.0 + 6 * noise,
+            period_length=period_length,
+        )
+        clusters = cluster_reports(reports, gate)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == len(reports)

@@ -1,0 +1,57 @@
+"""Unit tests for the repro CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.experiment == "fig8"
+        assert args.trials == 10_000
+        assert args.seed == 20080617
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig9a", "--trials", "500", "--seed", "1", "--accuracy", "0.9"]
+        )
+        assert args.trials == 500
+        assert args.seed == 1
+        assert args.accuracy == 0.9
+
+
+class TestMain:
+    def test_fig8_prints_table(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "[FIG8]" in out
+        assert "num_sensors" in out
+
+    def test_truncation_experiment(self, capsys):
+        assert main(["truncation"]) == 0
+        out = capsys.readouterr().out
+        assert "EXT-EXACT" in out
+
+    def test_false_alarms_experiment(self, capsys):
+        assert main(["false-alarms"]) == 0
+        assert "EXT-FA" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["fig8", "--json", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "fig8.json").read_text())
+        assert payload["experiment_id"] == "FIG8"
+        assert payload["rows"]
+
+    def test_small_simulation_experiment(self, capsys):
+        # Keep trials tiny so the test stays fast.
+        assert main(["boundary", "--trials", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "EXT-BND" in out
+        assert "torus" in out

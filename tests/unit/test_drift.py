@@ -1,0 +1,97 @@
+"""Unit tests for repro.deployment.drift."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.deployment.drift import apply_drift, drift_deployment_strategy
+from repro.deployment.field import SensorField
+from repro.errors import DeploymentError
+
+
+@pytest.fixture
+def field() -> SensorField:
+    return SensorField(1000.0, 500.0)
+
+
+class TestApplyDrift:
+    def test_zero_sigma_is_identity_copy(self, field, rng):
+        positions = rng.uniform((0, 0), (1000, 500), size=(20, 2))
+        drifted = apply_drift(positions, 0.0, field, rng)
+        np.testing.assert_array_equal(drifted, positions)
+        drifted[0, 0] = -1.0
+        assert positions[0, 0] != -1.0  # copy
+
+    def test_results_inside_field(self, field, rng):
+        positions = rng.uniform((0, 0), (1000, 500), size=(200, 2))
+        for boundary in ("torus", "reflect"):
+            drifted = apply_drift(positions, 5_000.0, field, rng, boundary)
+            assert (drifted[:, 0] >= 0).all() and (drifted[:, 0] <= 1000).all()
+            assert (drifted[:, 1] >= 0).all() and (drifted[:, 1] <= 500).all()
+
+    def test_small_drift_moves_points_slightly(self, field, rng):
+        positions = np.full((50, 2), [500.0, 250.0])
+        drifted = apply_drift(positions, 10.0, field, rng)
+        displacement = np.linalg.norm(drifted - positions, axis=1)
+        assert 0.0 < displacement.mean() < 50.0
+
+    def test_torus_preserves_uniformity(self, field):
+        """The load-bearing fact: wrapped drift keeps uniform uniform."""
+        rng = np.random.default_rng(42)
+        positions = rng.uniform((0, 0), (1000, 500), size=(8000, 2))
+        drifted = apply_drift(positions, 3_000.0, field, rng, "torus")
+        # KS test of each marginal against uniform.
+        for axis, length in ((0, 1000.0), (1, 500.0)):
+            statistic, p_value = stats.kstest(
+                drifted[:, axis] / length, "uniform"
+            )
+            assert p_value > 0.01, (axis, statistic)
+
+    def test_reflect_preserves_uniformity(self, field):
+        rng = np.random.default_rng(43)
+        positions = rng.uniform((0, 0), (1000, 500), size=(8000, 2))
+        drifted = apply_drift(positions, 3_000.0, field, rng, "reflect")
+        for axis, length in ((0, 1000.0), (1, 500.0)):
+            _, p_value = stats.kstest(drifted[:, axis] / length, "uniform")
+            assert p_value > 0.01, axis
+
+    def test_empty_positions(self, field, rng):
+        out = apply_drift(np.empty((0, 2)), 10.0, field, rng)
+        assert out.shape == (0, 2)
+
+    def test_invalid_inputs_rejected(self, field, rng):
+        with pytest.raises(DeploymentError):
+            apply_drift(np.zeros((2, 3)), 1.0, field, rng)
+        with pytest.raises(DeploymentError):
+            apply_drift(np.zeros((2, 2)), -1.0, field, rng)
+        with pytest.raises(DeploymentError):
+            apply_drift(np.zeros((2, 2)), 1.0, field, rng, boundary="absorb")
+
+
+class TestDriftDeploymentStrategy:
+    def test_returns_valid_deployment(self, field, rng):
+        deploy = drift_deployment_strategy(100.0, missions=4)
+        positions = deploy(field, 30, rng)
+        assert positions.shape == (30, 2)
+        assert (positions >= 0).all()
+
+    def test_zero_missions_is_plain_uniform(self, field):
+        deploy = drift_deployment_strategy(100.0, missions=0)
+        a = deploy(field, 30, np.random.default_rng(5))
+        b = np.random.default_rng(5).uniform((0, 0), (1000, 500), size=(30, 2))
+        np.testing.assert_allclose(a, b)
+
+    def test_negative_missions_rejected(self):
+        with pytest.raises(DeploymentError):
+            drift_deployment_strategy(10.0, missions=-1)
+
+    def test_plugs_into_simulator(self, small):
+        from repro.simulation.runner import MonteCarloSimulator
+
+        result = MonteCarloSimulator(
+            small,
+            trials=150,
+            seed=6,
+            deployment=drift_deployment_strategy(500.0, missions=3),
+        ).run()
+        assert result.trials == 150

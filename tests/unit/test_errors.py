@@ -1,0 +1,53 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ScenarioError",
+            "GeometryError",
+            "DistributionError",
+            "MarkovChainError",
+            "DeploymentError",
+            "SimulationError",
+            "AnalysisError",
+            "RoutingError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        # Input-validation errors double as ValueError so generic callers
+        # can catch them idiomatically.
+        for name in (
+            "ScenarioError",
+            "GeometryError",
+            "DistributionError",
+            "MarkovChainError",
+            "DeploymentError",
+        ):
+            assert issubclass(getattr(errors, name), ValueError), name
+
+    def test_runtime_errors_are_runtime_errors(self):
+        for name in ("SimulationError", "AnalysisError", "RoutingError"):
+            assert issubclass(getattr(errors, name), RuntimeError), name
+
+    def test_catching_base_class_catches_library_errors(self):
+        from repro.experiments.presets import onr_scenario
+
+        with pytest.raises(errors.ReproError):
+            onr_scenario(num_sensors=0)
+
+    def test_messages_are_informative(self):
+        from repro.experiments.presets import onr_scenario
+
+        with pytest.raises(errors.ScenarioError, match="num_sensors"):
+            onr_scenario(num_sensors=0)
+        with pytest.raises(errors.ScenarioError, match="detect_prob"):
+            onr_scenario(detect_prob=7.0)

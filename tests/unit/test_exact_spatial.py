@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.exact_spatial."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_spatial import ExactSpatialAnalysis
+from repro.errors import AnalysisError
+from repro.experiments.presets import onr_scenario, small_scenario
+
+
+class TestConstruction:
+    def test_closed_form_default(self, onr):
+        exact = ExactSpatialAnalysis(onr)
+        assert exact.region_areas.sum() == pytest.approx(onr.aregion_area)
+
+    def test_unknown_method_rejected(self, onr):
+        with pytest.raises(AnalysisError):
+            ExactSpatialAnalysis(onr, region_method="quadrature")
+
+    def test_closed_form_handles_small_window(self):
+        # M <= ms: the window_regions generalisation covers what the
+        # paper's decomposition excludes.
+        scenario = onr_scenario(window=3, threshold=1)
+        exact = ExactSpatialAnalysis(scenario)
+        assert 0.0 < exact.detection_probability() < 1.0
+
+    def test_monte_carlo_matches_closed_form_small_window(self):
+        scenario = onr_scenario(window=3, threshold=1)
+        closed = ExactSpatialAnalysis(scenario).detection_probability()
+        sampled = ExactSpatialAnalysis(
+            scenario, region_method="monte_carlo", monte_carlo_samples=300_000, rng=1
+        ).detection_probability()
+        assert sampled == pytest.approx(closed, abs=0.01)
+
+
+class TestPmf:
+    def test_sums_to_one(self, small):
+        pmf = ExactSpatialAnalysis(small).report_count_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_pmf_cached_and_copied(self, small):
+        exact = ExactSpatialAnalysis(small)
+        first = exact.report_count_pmf()
+        first[:] = 0.0
+        assert exact.report_count_pmf().sum() == pytest.approx(1.0)
+
+    def test_support_bounded(self, small):
+        # At most N * (ms + 1) reports are possible.
+        pmf = ExactSpatialAnalysis(small).report_count_pmf()
+        assert pmf.size <= small.num_sensors * (small.ms + 1) + 1
+
+    def test_expected_report_count(self, small):
+        exact = ExactSpatialAnalysis(small)
+        pmf = exact.report_count_pmf()
+        assert exact.expected_report_count() == pytest.approx(
+            float(np.arange(pmf.size) @ pmf)
+        )
+
+    def test_expected_reports_closed_form(self, small):
+        # E[reports] = N * Pd * sum_i i * Region(i) / S, and
+        # sum_i i * Region(i) = M * dr_area (each period's DR counted once).
+        exact = ExactSpatialAnalysis(small)
+        expected = (
+            small.num_sensors
+            * small.detect_prob
+            * small.window
+            * small.dr_area
+            / small.field_area
+        )
+        assert exact.expected_report_count() == pytest.approx(expected)
+
+
+class TestDetectionProbability:
+    def test_monotone_in_threshold(self, small):
+        exact = ExactSpatialAnalysis(small)
+        values = [exact.detection_probability(threshold=k) for k in (0, 1, 3, 6)]
+        assert values == sorted(values, reverse=True)
+
+    def test_threshold_zero_is_one(self, small):
+        assert ExactSpatialAnalysis(small).detection_probability(0) == pytest.approx(
+            1.0
+        )
+
+    def test_threshold_beyond_support_is_zero(self, small):
+        assert ExactSpatialAnalysis(small).detection_probability(10_000) == 0.0
+
+    def test_negative_threshold_rejected(self, small):
+        with pytest.raises(AnalysisError):
+            ExactSpatialAnalysis(small).detection_probability(-2)
+
+    def test_monte_carlo_close_to_closed_form(self):
+        scenario = small_scenario()
+        closed = ExactSpatialAnalysis(scenario).detection_probability()
+        sampled = ExactSpatialAnalysis(
+            scenario, region_method="monte_carlo", monte_carlo_samples=400_000, rng=3
+        ).detection_probability()
+        assert sampled == pytest.approx(closed, abs=0.01)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.deployment.field."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.field import SensorField
+from repro.errors import GeometryError
+from repro.geometry.shapes import Point
+
+
+class TestSensorField:
+    def test_area(self):
+        assert SensorField(100.0, 50.0).area == 5000.0
+
+    def test_square_constructor(self):
+        field = SensorField.square(32000.0)
+        assert field.width == field.height == 32000.0
+
+    def test_center(self):
+        assert SensorField(10.0, 20.0).center == Point(5.0, 10.0)
+
+    def test_contains(self):
+        field = SensorField(10.0, 10.0)
+        assert field.contains(Point(0.0, 0.0))
+        assert field.contains(Point(10.0, 10.0))
+        assert not field.contains(Point(10.1, 5.0))
+        assert not field.contains(Point(5.0, -0.1))
+
+    def test_contains_xy_vectorised(self):
+        field = SensorField(10.0, 10.0)
+        xs = np.array([0.0, 5.0, 11.0])
+        ys = np.array([0.0, -1.0, 5.0])
+        assert list(field.contains_xy(xs, ys)) == [True, False, False]
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(GeometryError):
+            SensorField(0.0, 10.0)
+        with pytest.raises(GeometryError):
+            SensorField(10.0, -1.0)
+
+
+class TestTorusOperations:
+    def test_wrap_xy(self):
+        field = SensorField(10.0, 10.0)
+        xs, ys = field.wrap_xy(np.array([12.0, -3.0]), np.array([5.0, 25.0]))
+        assert list(xs) == [2.0, 7.0]
+        assert list(ys) == [5.0, 5.0]
+
+    def test_wrapped_delta_short_way(self):
+        field = SensorField(10.0, 10.0)
+        dx, dy = field.wrapped_delta(np.array([9.0]), np.array([-9.0]))
+        assert dx[0] == pytest.approx(-1.0)
+        assert dy[0] == pytest.approx(1.0)
+
+    def test_wrapped_delta_identity_for_small_offsets(self):
+        field = SensorField(10.0, 10.0)
+        dx, dy = field.wrapped_delta(np.array([2.0]), np.array([-3.0]))
+        assert dx[0] == pytest.approx(2.0)
+        assert dy[0] == pytest.approx(-3.0)
+
+    def test_wrapped_delta_bounded(self, rng):
+        field = SensorField(7.0, 13.0)
+        raw = rng.uniform(-100, 100, size=(500, 2))
+        dx, dy = field.wrapped_delta(raw[:, 0], raw[:, 1])
+        assert np.all(np.abs(dx) <= 3.5 + 1e-9)
+        assert np.all(np.abs(dy) <= 6.5 + 1e-9)
+
+    def test_torus_distance_crosses_boundary(self):
+        field = SensorField(10.0, 10.0)
+        assert field.torus_distance(Point(0.5, 5.0), Point(9.5, 5.0)) == pytest.approx(
+            1.0
+        )
+
+    def test_torus_distance_interior_matches_euclidean(self):
+        field = SensorField(100.0, 100.0)
+        a, b = Point(10.0, 10.0), Point(13.0, 14.0)
+        assert field.torus_distance(a, b) == pytest.approx(a.distance_to(b))

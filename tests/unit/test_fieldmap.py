@@ -1,0 +1,72 @@
+"""Unit tests for repro.experiments.fieldmap."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.field import SensorField
+from repro.errors import SimulationError
+from repro.experiments.fieldmap import render_field
+
+
+@pytest.fixture
+def field() -> SensorField:
+    return SensorField(1000.0, 500.0)
+
+
+class TestRenderField:
+    def test_sensors_drawn(self, field):
+        positions = np.array([[100.0, 100.0], [900.0, 400.0]])
+        art = render_field(field, positions)
+        assert art.count(".") >= 2
+        assert "sensor" in art
+
+    def test_track_overlay(self, field):
+        positions = np.array([[500.0, 250.0]])
+        waypoints = np.array([[100.0, 250.0], [500.0, 250.0], [900.0, 250.0]])
+        art = render_field(field, positions, waypoints=waypoints)
+        assert "S" in art and "E" in art and "-" in art
+        assert "track" in art
+
+    def test_reporters_highlighted(self, field):
+        positions = np.array([[100.0, 100.0], [900.0, 400.0]])
+        art = render_field(field, positions, reporter_ids=[1])
+        assert "o" in art
+
+    def test_aspect_ratio(self, field):
+        positions = np.array([[0.0, 0.0]])
+        art = render_field(field, positions, width=64)
+        body = [line for line in art.splitlines() if line.startswith("|")]
+        # Height ~ width * (500/1000) / 2 = 16 rows.
+        assert 12 <= len(body) <= 20
+
+    def test_out_of_field_track_clipped(self, field):
+        positions = np.array([[500.0, 250.0]])
+        waypoints = np.array([[-5000.0, 250.0], [6000.0, 250.0]])
+        art = render_field(field, positions, waypoints=waypoints)
+        # Start/end markers fall outside the field and are not drawn in
+        # the grid (the legend still mentions them); the in-field part of
+        # the track is.
+        grid_rows = [line for line in art.splitlines() if line.startswith("|")]
+        grid = "\n".join(grid_rows)
+        assert "S" not in grid and "E" not in grid
+        assert "-" in grid
+
+    def test_corner_positions_stay_inside_grid(self, field):
+        positions = np.array(
+            [[0.0, 0.0], [1000.0, 500.0], [1000.0, 0.0], [0.0, 500.0]]
+        )
+        art = render_field(field, positions)
+        lines = art.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines[:-1])
+
+    def test_invalid_inputs_rejected(self, field):
+        with pytest.raises(SimulationError):
+            render_field(field, np.zeros((2, 3)))
+        with pytest.raises(SimulationError):
+            render_field(field, np.zeros((1, 2)), width=4)
+        with pytest.raises(SimulationError):
+            render_field(
+                field, np.zeros((1, 2)), waypoints=np.zeros((1, 2))
+            )
+        with pytest.raises(SimulationError):
+            render_field(field, np.zeros((1, 2)), reporter_ids=[5])

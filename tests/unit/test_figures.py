@@ -1,0 +1,202 @@
+"""Unit tests for repro.experiments.figures (down-scaled runs).
+
+Each experiment function must produce a well-formed record with the
+advertised columns and the coarse qualitative shape; the full-scale
+assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+TRIALS = 300
+SEED = 11
+
+
+class TestFig8:
+    def test_columns_and_shape(self):
+        record = figures.fig8_required_truncation(node_counts=(60, 140, 240))
+        assert record.experiment_id == "FIG8"
+        assert record.columns == ["num_sensors", "g", "gh", "G"]
+        assert len(record.rows) == 3
+        for row in record.rows:
+            assert row["g"] <= row["gh"] < row["G"]
+
+
+class TestFig9Family:
+    @pytest.mark.parametrize(
+        "fn,experiment_id",
+        [
+            (figures.fig9a_straight_line, "FIG9A"),
+            (figures.fig9b_unnormalized, "FIG9B"),
+            (figures.fig9c_random_walk, "FIG9C"),
+        ],
+    )
+    def test_record_structure(self, fn, experiment_id):
+        record = fn(node_counts=(60, 240), speeds=(10.0,), trials=TRIALS, seed=SEED)
+        assert record.experiment_id == experiment_id
+        assert len(record.rows) == 2
+        for row in record.rows:
+            assert 0.0 <= row["analysis"] <= 1.0
+            assert row["ci_low"] <= row["simulation"] <= row["ci_high"]
+
+    def test_fig9b_unnormalised_below_fig9a(self):
+        a = figures.fig9a_straight_line(
+            node_counts=(240,), speeds=(10.0,), trials=TRIALS, seed=SEED
+        )
+        b = figures.fig9b_unnormalized(
+            node_counts=(240,), speeds=(10.0,), trials=TRIALS, seed=SEED
+        )
+        assert b.rows[0]["analysis"] < a.rows[0]["analysis"]
+
+
+class TestRuntime:
+    def test_contains_all_methods(self):
+        record = figures.runtime_comparison(naive_truncations=(1, 2))
+        methods = {row["method"] for row in record.rows}
+        assert "M-S-approach" in methods
+        assert any(m.startswith("S-approach") for m in methods)
+        assert any(m.startswith("T-approach") for m in methods)
+
+
+class TestExtensionExperiments:
+    def test_multinode(self):
+        record = figures.multinode_experiment(
+            min_nodes_values=(1, 3), trials=TRIALS, seed=SEED
+        )
+        assert [row["min_nodes"] for row in record.rows] == [1, 3]
+        assert record.rows[0]["analysis"] >= record.rows[1]["analysis"]
+
+    def test_false_alarm_table(self):
+        record = figures.false_alarm_table(false_alarm_probs=(1e-4, 1e-3))
+        thresholds = record.column("min_threshold")
+        assert thresholds == sorted(thresholds)
+
+    def test_network_latency(self):
+        record = figures.network_latency_experiment(
+            node_counts=(120,), deployments=3, seed=SEED
+        )
+        assert record.rows[0]["connected_fraction"] > 0.9
+
+    def test_boundary(self):
+        record = figures.boundary_ablation(
+            node_counts=(120,), trials=TRIALS, seed=SEED
+        )
+        row = record.rows[0]
+        assert {"analysis", "torus", "clip", "interior"} <= set(row)
+
+    def test_truncation(self):
+        record = figures.truncation_ablation(truncations=(1, 3))
+        errors = record.column("unnormalized_error")
+        assert errors[0] > errors[1]
+
+    def test_latency(self):
+        record = figures.detection_latency_experiment(
+            node_counts=(240,), trials=TRIALS, seed=SEED
+        )
+        row = record.rows[0]
+        assert 1.0 <= row["mean_latency_analysis"] <= 20.0
+
+    def test_deployment(self):
+        record = figures.deployment_ablation(
+            trials=TRIALS, seed=SEED, grid_jitters=(0.0,)
+        )
+        names = record.column("deployment")
+        assert "uniform" in names
+
+    def test_varying_speed(self):
+        record = figures.varying_speed_experiment(
+            spread_fractions=(0.0, 0.5), trials=TRIALS, seed=SEED
+        )
+        assert len(record.rows) == 2
+
+    def test_sliding_window(self):
+        record = figures.sliding_window_experiment(
+            horizons=(20, 30), trials=TRIALS, seed=SEED
+        )
+        rows = sorted(record.rows, key=lambda r: r["presence_periods"])
+        assert rows[1]["sliding_simulation"] >= rows[0]["sliding_simulation"] - 0.1
+
+    def test_network_loss(self):
+        record = figures.network_loss_experiment(
+            node_counts=(240,), trials=200, seed=SEED
+        )
+        row = record.rows[0]
+        assert row["lossy_delivery"] <= row["ideal_delivery"] + 0.05
+
+    def test_duty_cycle(self):
+        record = figures.duty_cycle_experiment(
+            duty_cycles=(1.0, 0.5), trials=TRIALS, seed=SEED
+        )
+        assert record.rows[0]["analysis"] > record.rows[1]["analysis"]
+
+    def test_tracking(self):
+        record = figures.tracking_experiment(
+            node_counts=(240,), episodes=40, seed=SEED
+        )
+        row = record.rows[0]
+        assert 0.0 < row["estimable_fraction"] <= 1.0
+        assert row["median_cross_track_m"] < 1500.0
+
+    def test_records_serialise(self):
+        record = figures.fig8_required_truncation(node_counts=(60,))
+        from repro.experiments.records import ExperimentRecord
+
+        restored = ExperimentRecord.from_json(record.to_json())
+        assert restored.rows == record.rows
+
+
+class TestNewerExperiments:
+    def test_network_loss(self):
+        record = figures.network_loss_experiment(
+            node_counts=(240,), trials=150, seed=SEED
+        )
+        assert record.rows[0]["lossy_delivery"] <= record.rows[0][
+            "ideal_delivery"
+        ] + 0.1
+
+    def test_multi_target(self):
+        record = figures.multi_target_experiment(
+            separations=(24_000.0,), episodes=30, seed=SEED
+        )
+        row = record.rows[0]
+        assert 0.0 <= row["both_detected"] <= row["per_target_detection"] <= 1.0
+
+    def test_heterogeneous(self):
+        record = figures.heterogeneous_experiment(
+            range_spreads=(0.0, 400.0), trials=TRIALS, seed=SEED
+        )
+        assert record.rows[1]["analysis"] >= record.rows[0]["analysis"]
+
+    def test_sensitivity(self):
+        record = figures.sensitivity_experiment(node_counts=(150,))
+        row = record.rows[0]
+        assert row["e_sensing_range"] > 0.0
+
+    def test_rule_design(self):
+        record = figures.rule_design_experiment(
+            windows=(10, 20), thresholds=(3, 5)
+        )
+        assert len(record.rows) == 4
+
+    def test_instantaneous_vs_group(self):
+        record = figures.instantaneous_vs_group_experiment(node_counts=(150,))
+        row = record.rows[0]
+        assert row["instant_detection"] >= row["group_detection"]
+        assert row["instant_false_alarm"] > row["group_false_alarm"]
+
+    def test_drift(self):
+        record = figures.drift_experiment(
+            drift_sigmas=(0.0, 4_000.0), trials=TRIALS, seed=SEED
+        )
+        assert len(record.rows) == 2
+        for row in record.rows:
+            assert 0.0 <= row["torus"] <= 1.0
+            assert 0.0 <= row["reflect"] <= 1.0
+
+    def test_multi_base(self):
+        record = figures.multi_base_experiment(
+            base_counts=(1, 4), deployments=3, seed=SEED
+        )
+        rows = sorted(record.rows, key=lambda r: r["base_stations"])
+        assert rows[0]["mean_hops"] >= rows[1]["mean_hops"]

@@ -1,0 +1,115 @@
+"""Unit tests for repro.detection.group."""
+
+import pytest
+
+from repro.detection.group import GroupDetector
+from repro.detection.reports import DetectionReport
+from repro.detection.track_filter import SpeedGateTrackFilter
+from repro.errors import SimulationError
+from repro.geometry.shapes import Point
+
+
+def report(node_id, period, x=0.0, y=0.0) -> DetectionReport:
+    return DetectionReport(node_id, period, Point(x, y))
+
+
+class TestBasicRule:
+    def test_fires_at_threshold(self):
+        detector = GroupDetector(window=5, threshold=3)
+        assert not detector.observe(1, [report(0, 1)])
+        assert not detector.observe(2, [report(1, 2)])
+        assert detector.observe(3, [report(2, 3)])
+        assert detector.detection_periods == [3]
+
+    def test_window_expires_old_reports(self):
+        detector = GroupDetector(window=3, threshold=2)
+        detector.observe(1, [report(0, 1)])
+        detector.observe(2, [])
+        detector.observe(3, [])
+        # Period 1's report has now left the window [2, 4].
+        assert not detector.observe(4, [report(1, 4)])
+
+    def test_report_at_window_edge_still_counts(self):
+        detector = GroupDetector(window=3, threshold=2)
+        detector.observe(1, [report(0, 1)])
+        detector.observe(2, [])
+        assert detector.observe(3, [report(1, 3)])
+
+    def test_multiple_reports_single_period(self):
+        detector = GroupDetector(window=5, threshold=3)
+        assert detector.observe(1, [report(0, 1), report(1, 1), report(2, 1)])
+
+    def test_min_nodes_requirement(self):
+        detector = GroupDetector(window=5, threshold=3, min_nodes=2)
+        # Three reports, all from node 0: count passes, node rule fails.
+        assert not detector.observe(
+            1, [report(0, 1), report(0, 1), report(0, 1)]
+        )
+        assert detector.observe(2, [report(1, 2)])
+
+    def test_process_stream(self):
+        detector = GroupDetector(window=4, threshold=2)
+        stream = [
+            (1, [report(0, 1)]),
+            (2, []),
+            (3, [report(1, 3)]),
+        ]
+        assert detector.process_stream(stream)
+
+    def test_reset(self):
+        detector = GroupDetector(window=5, threshold=1)
+        detector.observe(1, [report(0, 1)])
+        detector.reset()
+        assert detector.detection_periods == []
+        assert not detector.observe(1, [])
+
+
+class TestValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            GroupDetector(window=0, threshold=1)
+        with pytest.raises(SimulationError):
+            GroupDetector(window=1, threshold=0)
+        with pytest.raises(SimulationError):
+            GroupDetector(window=1, threshold=1, min_nodes=0)
+
+    def test_out_of_order_periods_rejected(self):
+        detector = GroupDetector(window=5, threshold=1)
+        detector.observe(3, [])
+        with pytest.raises(SimulationError):
+            detector.observe(3, [])
+        with pytest.raises(SimulationError):
+            detector.observe(2, [])
+
+    def test_mismatched_report_period_rejected(self):
+        detector = GroupDetector(window=5, threshold=1)
+        with pytest.raises(SimulationError):
+            detector.observe(2, [report(0, 1)])
+
+
+class TestWithTrackFilter:
+    @pytest.fixture
+    def filtered_detector(self) -> GroupDetector:
+        gate = SpeedGateTrackFilter(
+            max_speed=10.0, sensing_range=100.0, period_length=60.0
+        )
+        return GroupDetector(window=10, threshold=3, track_filter=gate)
+
+    def test_consistent_track_detected(self, filtered_detector):
+        # Reports along a plausible 10 m/s track.
+        filtered_detector.observe(1, [report(0, 1, 0.0)])
+        filtered_detector.observe(2, [report(1, 2, 600.0)])
+        assert filtered_detector.observe(3, [report(2, 3, 1200.0)])
+
+    def test_scattered_false_alarms_filtered(self, filtered_detector):
+        # Three reports scattered tens of kilometers apart cannot be one
+        # target; the filter keeps only a subset below the threshold.
+        filtered_detector.observe(1, [report(0, 1, 0.0)])
+        filtered_detector.observe(2, [report(1, 2, 40_000.0)])
+        assert not filtered_detector.observe(3, [report(2, 3, 80_000.0)])
+
+    def test_false_alarm_plus_track_still_detected(self, filtered_detector):
+        # A far-away false alarm must not mask a genuine track.
+        filtered_detector.observe(1, [report(0, 1, 0.0), report(9, 1, 50_000.0)])
+        filtered_detector.observe(2, [report(1, 2, 600.0)])
+        assert filtered_detector.observe(3, [report(2, 3, 1200.0)])

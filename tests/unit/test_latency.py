@@ -1,0 +1,223 @@
+"""Unit tests for repro.core.latency (exact first-passage analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_spatial import ExactSpatialAnalysis
+from repro.core.latency import DetectionLatencyAnalysis
+from repro.errors import AnalysisError
+from repro.experiments.presets import onr_scenario
+
+
+@pytest.fixture
+def latency(onr) -> DetectionLatencyAnalysis:
+    return DetectionLatencyAnalysis(onr)
+
+
+class TestDetectionCdf:
+    def test_monotone_from_zero(self, latency):
+        cdf = latency.detection_cdf()
+        assert cdf[0] == 0.0
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] <= 1.0
+
+    def test_final_value_is_window_detection_probability(self, latency, onr):
+        cdf = latency.detection_cdf()
+        exact = ExactSpatialAnalysis(onr).detection_probability()
+        assert cdf[-1] == pytest.approx(exact, abs=1e-10)
+
+    def test_threshold_one_rises_fast(self, onr):
+        lat = DetectionLatencyAnalysis(onr)
+        cdf_k1 = lat.detection_cdf(threshold=1)
+        cdf_k5 = lat.detection_cdf(threshold=5)
+        assert np.all(cdf_k1 >= cdf_k5 - 1e-12)
+
+    def test_invalid_threshold_rejected(self, latency):
+        with pytest.raises(AnalysisError):
+            latency.detection_cdf(threshold=0)
+
+    def test_small_window_supported(self):
+        # M <= ms works (unlike the paper's decomposition).
+        scenario = onr_scenario(window=3, threshold=1)
+        cdf = DetectionLatencyAnalysis(scenario).detection_cdf()
+        assert cdf.size == 4
+        assert 0.0 < cdf[-1] < 1.0
+
+
+class TestLatencyPmf:
+    def test_sums_to_detection_probability(self, latency):
+        pmf = latency.latency_pmf()
+        cdf = latency.detection_cdf()
+        assert pmf.sum() == pytest.approx(cdf[-1], abs=1e-10)
+        assert pmf[0] == 0.0
+        assert (pmf >= -1e-12).all()
+
+    def test_cdf_pmf_consistency(self, latency):
+        pmf = latency.latency_pmf()
+        cdf = latency.detection_cdf()
+        np.testing.assert_allclose(np.cumsum(pmf), cdf, atol=1e-12)
+
+
+class TestExpectedLatency:
+    def test_within_window(self, latency, onr):
+        expected = latency.expected_latency()
+        assert 1.0 <= expected <= onr.window
+
+    def test_decreases_with_node_count(self):
+        values = [
+            DetectionLatencyAnalysis(
+                onr_scenario(num_sensors=n)
+            ).expected_latency()
+            for n in (120, 180, 240)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_increases_with_threshold(self, latency):
+        assert latency.expected_latency(threshold=2) < latency.expected_latency(
+            threshold=8
+        )
+
+    def test_undetectable_raises(self):
+        scenario = onr_scenario(num_sensors=1, window=6, threshold=5)
+        lat = DetectionLatencyAnalysis(scenario)
+        # A single sensor cannot produce 5 reports in 6 periods unless it
+        # covers the target for 5 periods (possible: ms + 1 = 5), so use an
+        # impossible threshold instead.
+        with pytest.raises(AnalysisError):
+            lat.expected_latency(threshold=500)
+
+
+class TestLatencyQuantile:
+    def test_median_before_ninetieth(self, latency):
+        median = latency.latency_quantile(0.5)
+        q90 = latency.latency_quantile(0.9)
+        assert median is not None and q90 is not None
+        assert median <= q90
+
+    def test_unreachable_quantile_returns_none(self):
+        scenario = onr_scenario(num_sensors=60)
+        lat = DetectionLatencyAnalysis(scenario)
+        # At N = 60 the window detection probability is ~0.43.
+        assert lat.latency_quantile(0.99) is None
+
+    def test_invalid_quantile_rejected(self, latency):
+        with pytest.raises(AnalysisError):
+            latency.latency_quantile(0.0)
+        with pytest.raises(AnalysisError):
+            latency.latency_quantile(1.0)
+
+
+class TestWindowRegionsPrefix:
+    def test_prefix_regions_monotone_total(self, onr):
+        from repro.core.regions import window_regions
+
+        totals = [window_regions(onr, p).sum() for p in range(1, onr.window + 1)]
+        assert totals == sorted(totals)
+
+    def test_prefix_one_is_single_dr(self, onr):
+        from repro.core.regions import window_regions
+
+        regions = window_regions(onr, 1)
+        assert regions.sum() == pytest.approx(onr.dr_area)
+        # With one period, every covering sensor covers exactly 1 period.
+        assert regions[1] == pytest.approx(onr.dr_area)
+        assert (regions[2:] == 0.0).all()
+
+    def test_out_of_range_rejected(self, onr):
+        from repro.core.regions import window_regions
+
+        with pytest.raises(AnalysisError):
+            window_regions(onr, 0)
+        with pytest.raises(AnalysisError):
+            window_regions(onr, onr.window + 1)
+
+    def test_small_window_matches_monte_carlo(self, rng):
+        from repro.core.regions import window_regions
+        from repro.geometry.coverage import estimate_coverage_count_areas
+
+        scenario = onr_scenario(window=3, threshold=1)  # M = 3 < ms = 4
+        regions = window_regions(scenario, 3)
+        sampled = estimate_coverage_count_areas(
+            scenario.sensing_range,
+            scenario.step_length,
+            3,
+            samples=400_000,
+            rng=rng,
+        )
+        total = regions.sum()
+        for coverage, area in sampled.items():
+            assert regions[coverage] / total == pytest.approx(
+                area / total, abs=0.02
+            ), coverage
+
+class TestMultiBaseDelivery:
+    """Multiple base stations (network substrate, not target latency)."""
+
+    @staticmethod
+    def chain_graph():
+        import numpy as np
+
+        from repro.network.graph import add_base_stations, build_connectivity_graph
+
+        positions = np.array([[float(x), 0.0] for x in (10, 20, 30, 40, 50)])
+        graph = build_connectivity_graph(positions, 11.0)
+        bases = add_base_stations(graph, [(0.0, 0.0), (60.0, 0.0)], 11.0)
+        return graph, bases
+
+    def test_nearest_base_hop_counts(self):
+        from repro.network.latency import hop_counts_to_nearest
+
+        graph, bases = self.chain_graph()
+        hops = hop_counts_to_nearest(graph, bases)
+        # Chain 10..50 between bases at 0 and 60: hops 1,2,3,2,1.
+        assert [hops[i] for i in range(5)] == [1, 2, 3, 2, 1]
+
+    def test_more_bases_never_increase_hops(self):
+        from repro.network.latency import hop_counts, hop_counts_to_nearest
+
+        graph, bases = self.chain_graph()
+        single = hop_counts(graph, bases[0])
+        multi = hop_counts_to_nearest(graph, bases)
+        for node, hops in multi.items():
+            if node in single:
+                assert hops <= single[node]
+
+    def test_delivery_report_with_multiple_bases(self):
+        from repro.network.latency import delivery_report
+
+        graph, bases = self.chain_graph()
+        report = delivery_report(
+            graph, period_length=60.0, per_hop_latency=25.0, bases=bases
+        )
+        # Budget 2 hops: only the middle node (3 hops) misses.
+        assert report.total_nodes == 5
+        assert report.deliverable_nodes == 4
+        assert report.max_hops == 3
+
+    def test_empty_bases_rejected(self):
+        from repro.errors import RoutingError
+        from repro.network.latency import hop_counts_to_nearest
+
+        graph, _ = self.chain_graph()
+        with pytest.raises(RoutingError):
+            hop_counts_to_nearest(graph, [])
+
+    def test_unknown_base_rejected(self):
+        from repro.errors import RoutingError
+        from repro.network.latency import hop_counts_to_nearest
+
+        graph, _ = self.chain_graph()
+        with pytest.raises(RoutingError):
+            hop_counts_to_nearest(graph, ["nope"])
+
+    def test_add_base_stations_validation(self):
+        import numpy as np
+
+        from repro.errors import DeploymentError
+        from repro.network.graph import add_base_stations, build_connectivity_graph
+
+        graph = build_connectivity_graph(np.array([[0.0, 0.0]]), 5.0)
+        with pytest.raises(DeploymentError):
+            add_base_stations(graph, [], 5.0)
+        with pytest.raises(DeploymentError):
+            add_base_stations(graph, [(0.0, 0.0)], 0.0)

@@ -1,0 +1,159 @@
+"""Unit tests for multi-target streams and track clustering."""
+
+import numpy as np
+import pytest
+
+from repro.detection.reports import DetectionReport
+from repro.detection.track_filter import SpeedGateTrackFilter
+from repro.errors import AnalysisError, SimulationError
+from repro.geometry.shapes import Point
+from repro.simulation.streams import simulate_multi_target_stream
+from repro.tracking import cluster_reports
+
+
+@pytest.fixture
+def two_target_episode(small):
+    starts = np.array(
+        [
+            [small.field.width * 0.2, small.field.height * 0.2],
+            [small.field.width * 0.8, small.field.height * 0.8],
+        ]
+    )
+    return simulate_multi_target_stream(
+        small, starts, rng=7, headings=np.array([0.0, np.pi])
+    )
+
+
+class TestSimulateMultiTargetStream:
+    def test_episode_shapes(self, two_target_episode, small):
+        episode = two_target_episode
+        assert episode.num_targets == 2
+        assert episode.waypoints.shape == (2, small.window + 1, 2)
+        assert len(episode.periods) == small.window
+        assert len(episode.report_sources) == small.window
+
+    def test_sources_parallel_to_reports(self, two_target_episode):
+        for reports, sources in zip(
+            two_target_episode.periods, two_target_episode.report_sources
+        ):
+            assert len(reports) == len(sources)
+            for source in sources:
+                assert source in (-1, 0, 1)
+
+    def test_per_target_counts_match_sources(self, two_target_episode):
+        counted = np.zeros(2, dtype=int)
+        for sources in two_target_episode.report_sources:
+            for source in sources:
+                if source >= 0:
+                    counted[source] += 1
+        np.testing.assert_array_equal(
+            counted, two_target_episode.per_target_report_counts
+        )
+
+    def test_detected_targets_respects_threshold(self, two_target_episode):
+        episode = two_target_episode
+        for t in episode.detected_targets(threshold=1):
+            assert episode.per_target_report_counts[t] >= 1
+        assert episode.detected_targets(threshold=10_000) == []
+
+    def test_false_alarms_marked_minus_one(self, small):
+        starts = np.array([[small.field.width / 2, small.field.height / 2]])
+        episode = simulate_multi_target_stream(
+            small, starts, rng=8, false_alarm_prob=0.02
+        )
+        sources = [s for ss in episode.report_sources for s in ss]
+        assert sources.count(-1) == episode.false_report_count
+        assert episode.false_report_count > 0
+
+    def test_single_target_reduces_to_plain_stream_statistics(self, small):
+        # Expected per-episode report counts match the single-target path.
+        from repro.simulation.streams import simulate_report_stream
+
+        rng = np.random.default_rng(9)
+        multi_counts, single_counts = [], []
+        for _ in range(150):
+            start = rng.uniform(
+                (0, 0), (small.field.width, small.field.height), size=(1, 2)
+            )
+            multi = simulate_multi_target_stream(small, start, rng=rng)
+            multi_counts.append(int(multi.per_target_report_counts[0]))
+            single = simulate_report_stream(small, rng=rng)
+            single_counts.append(single.true_report_count)
+        assert np.mean(multi_counts) == pytest.approx(
+            np.mean(single_counts), abs=1.0
+        )
+
+    def test_invalid_inputs_rejected(self, small):
+        with pytest.raises(SimulationError):
+            simulate_multi_target_stream(small, np.zeros((0, 2)))
+        with pytest.raises(SimulationError):
+            simulate_multi_target_stream(small, np.zeros((2, 3)))
+        with pytest.raises(SimulationError):
+            simulate_multi_target_stream(
+                small, np.zeros((2, 2)), headings=np.zeros(3)
+            )
+        with pytest.raises(SimulationError):
+            simulate_multi_target_stream(
+                small, np.zeros((1, 2)), false_alarm_prob=1.0
+            )
+
+
+class TestClusterReports:
+    @pytest.fixture
+    def gate(self):
+        return SpeedGateTrackFilter(
+            max_speed=10.0, sensing_range=100.0, period_length=60.0
+        )
+
+    @staticmethod
+    def track_reports(offset_x, node_base, periods=5):
+        return [
+            DetectionReport(node_base + p, p + 1, Point(offset_x + 600.0 * p, 0.0))
+            for p in range(periods)
+        ]
+
+    def test_two_distant_tracks_split(self, gate):
+        a = self.track_reports(0.0, 0)
+        b = self.track_reports(500_000.0, 100)
+        clusters = cluster_reports(a + b, gate)
+        assert len(clusters) == 2
+        ids = [{r.node_id for r in c} for c in clusters]
+        assert {frozenset(i) for i in ids} == {
+            frozenset(r.node_id for r in a),
+            frozenset(r.node_id for r in b),
+        }
+
+    def test_single_track_single_cluster(self, gate):
+        reports = self.track_reports(0.0, 0)
+        clusters = cluster_reports(reports, gate)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == len(reports)
+
+    def test_noise_dropped(self, gate):
+        track = self.track_reports(0.0, 0)
+        noise = [DetectionReport(99, 3, Point(9e6, 9e6))]
+        clusters = cluster_reports(track + noise, gate)
+        assert all(
+            all(r.node_id != 99 for r in cluster) for cluster in clusters
+        )
+
+    def test_min_cluster_size(self, gate):
+        lonely = [DetectionReport(0, 1, Point(0.0, 0.0))]
+        assert cluster_reports(lonely, gate, min_cluster_size=2) == []
+        assert len(cluster_reports(lonely, gate, min_cluster_size=1)) == 1
+
+    def test_max_clusters_bound(self, gate):
+        tracks = []
+        for i in range(5):
+            tracks.extend(self.track_reports(i * 1e6, i * 100))
+        clusters = cluster_reports(tracks, gate, max_clusters=2)
+        assert len(clusters) == 2
+
+    def test_empty_input(self, gate):
+        assert cluster_reports([], gate) == []
+
+    def test_invalid_bounds_rejected(self, gate):
+        with pytest.raises(AnalysisError):
+            cluster_reports([], gate, min_cluster_size=0)
+        with pytest.raises(AnalysisError):
+            cluster_reports([], gate, max_clusters=0)

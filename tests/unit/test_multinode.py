@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.multinode (the >= h nodes extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.core.multinode import MultiNodeAnalysis
+from repro.errors import AnalysisError
+from repro.experiments.presets import onr_scenario
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self, onr):
+        with pytest.raises(AnalysisError):
+            MultiNodeAnalysis(onr, min_nodes=0)
+        with pytest.raises(AnalysisError):
+            MultiNodeAnalysis(onr, body_truncation=0)
+        with pytest.raises(AnalysisError):
+            MultiNodeAnalysis(onr, head_truncation=0)
+
+    def test_small_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            MultiNodeAnalysis(onr_scenario(window=3, threshold=1))
+
+
+class TestJointDistribution:
+    def test_mass_matches_ms_accuracy(self, onr):
+        multi = MultiNodeAnalysis(onr, min_nodes=2)
+        single = MarkovSpatialAnalysis(onr, body_truncation=3)
+        assert multi.joint_distribution().sum() == pytest.approx(
+            single.analysis_accuracy()
+        )
+
+    def test_report_marginal_matches_single_node_analysis(self, onr):
+        multi = MultiNodeAnalysis(onr, min_nodes=3)
+        single = MarkovSpatialAnalysis(onr, body_truncation=3)
+        marginal = multi.joint_distribution().sum(axis=0)
+        reference = single.report_count_distribution()
+        np.testing.assert_allclose(
+            marginal[: reference.size], reference, atol=1e-10
+        )
+
+    def test_zero_reports_means_zero_nodes(self, onr):
+        joint = MultiNodeAnalysis(onr, min_nodes=2).joint_distribution()
+        assert joint[1:, 0].sum() == pytest.approx(0.0, abs=1e-15)
+
+    def test_nodes_cannot_exceed_reports(self, onr):
+        joint = MultiNodeAnalysis(onr, min_nodes=3).joint_distribution()
+        for nodes in range(1, joint.shape[0]):
+            assert joint[nodes, :nodes].sum() == pytest.approx(0.0, abs=1e-15)
+
+
+class TestDetectionProbability:
+    def test_h_one_matches_base_analysis(self, onr):
+        multi = MultiNodeAnalysis(onr, min_nodes=1).detection_probability()
+        base = MarkovSpatialAnalysis(onr, 3).detection_probability()
+        assert multi == pytest.approx(base, abs=1e-10)
+
+    def test_monotone_decreasing_in_h(self, onr):
+        values = [
+            MultiNodeAnalysis(onr, min_nodes=h).detection_probability()
+            for h in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_h_larger_than_k_rule_still_valid(self, onr):
+        # Requiring more nodes than reports is impossible to satisfy with
+        # k reports exactly, but the probability P[X >= k, nodes >= h]
+        # remains well-defined and small.
+        p = MultiNodeAnalysis(onr, min_nodes=6).detection_probability(threshold=5)
+        assert 0.0 <= p < 1.0
+
+    def test_unnormalized_below_normalized(self, onr):
+        multi = MultiNodeAnalysis(onr, min_nodes=2)
+        assert multi.detection_probability(
+            normalize=False
+        ) < multi.detection_probability(normalize=True)
+
+    def test_negative_threshold_rejected(self, onr):
+        with pytest.raises(AnalysisError):
+            MultiNodeAnalysis(onr).detection_probability(threshold=-1)

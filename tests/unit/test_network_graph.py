@@ -1,0 +1,65 @@
+"""Unit tests for repro.network.graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeploymentError
+from repro.network.graph import BASE_STATION, build_connectivity_graph
+
+
+class TestBuildConnectivityGraph:
+    def test_nodes_and_positions(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [20.0, 0.0]])
+        graph = build_connectivity_graph(positions, 6.0)
+        assert set(graph.nodes) == {0, 1, 2}
+        assert graph.nodes[1]["pos"] == (5.0, 0.0)
+
+    def test_edges_respect_range(self):
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [20.0, 0.0]])
+        graph = build_connectivity_graph(positions, 6.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert not graph.has_edge(1, 2)
+
+    def test_range_boundary_inclusive(self):
+        positions = np.array([[0.0, 0.0], [6.0, 0.0]])
+        graph = build_connectivity_graph(positions, 6.0)
+        assert graph.has_edge(0, 1)
+
+    def test_no_self_loops(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        graph = build_connectivity_graph(positions, 10.0)
+        assert all(not graph.has_edge(n, n) for n in graph.nodes)
+
+    def test_base_station_added_and_linked(self):
+        positions = np.array([[0.0, 0.0], [100.0, 0.0]])
+        graph = build_connectivity_graph(positions, 10.0, base_station=(2.0, 0.0))
+        assert BASE_STATION in graph
+        assert graph.has_edge(0, BASE_STATION)
+        assert not graph.has_edge(1, BASE_STATION)
+
+    def test_single_node_graph(self):
+        graph = build_connectivity_graph(np.array([[1.0, 1.0]]), 5.0)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+    def test_empty_deployment_with_base(self):
+        graph = build_connectivity_graph(np.empty((0, 2)), 5.0, base_station=(0, 0))
+        assert set(graph.nodes) == {BASE_STATION}
+
+    def test_edge_count_matches_bruteforce(self, rng):
+        positions = rng.uniform(0, 100, size=(40, 2))
+        graph = build_connectivity_graph(positions, 25.0)
+        expected = sum(
+            1
+            for i in range(40)
+            for j in range(i + 1, 40)
+            if np.hypot(*(positions[i] - positions[j])) <= 25.0
+        )
+        assert graph.number_of_edges() == expected
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DeploymentError):
+            build_connectivity_graph(np.zeros((2, 3)), 5.0)
+        with pytest.raises(DeploymentError):
+            build_connectivity_graph(np.zeros((2, 2)), 0.0)

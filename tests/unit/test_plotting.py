@@ -1,0 +1,82 @@
+"""Unit tests for repro.experiments.plotting."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_plot, plot_record
+from repro.experiments.records import ExperimentRecord
+
+
+class TestAsciiPlot:
+    def test_single_series_renders(self):
+        chart = ascii_plot({"line": [(0, 0), (1, 1), (2, 4)]})
+        assert "o line" in chart
+        assert "|" in chart and "+" in chart
+
+    def test_extremes_labelled(self):
+        chart = ascii_plot({"s": [(0, 0.25), (10, 0.75)]})
+        assert "0.75" in chart
+        assert "0.25" in chart
+        assert "10" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}
+        )
+        assert "o a" in chart and "x b" in chart
+
+    def test_marker_positions_monotone_series(self):
+        chart = ascii_plot({"up": [(0, 0), (1, 1)]}, width=10, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_row_with_marker = next(i for i, r in enumerate(rows) if "o" in r)
+        last_row_with_marker = max(i for i, r in enumerate(rows) if "o" in r)
+        # Higher y values appear in earlier (upper) rows.
+        assert first_row_with_marker < last_row_with_marker
+
+    def test_constant_series_supported(self):
+        chart = ascii_plot({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"empty": []})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(0, i)] for i in range(9)}
+        with pytest.raises(ValueError):
+            ascii_plot(series)
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": [(0, 0)]}, width=2, height=2)
+
+
+class TestPlotRecord:
+    @pytest.fixture
+    def record(self) -> ExperimentRecord:
+        record = ExperimentRecord("X", "demo title")
+        record.add_row(n=60, analysis=0.4, simulation=0.41, speed=4.0)
+        record.add_row(n=120, analysis=0.6, simulation=0.62, speed=4.0)
+        record.add_row(n=60, analysis=0.5, simulation=0.51, speed=10.0)
+        record.add_row(n=120, analysis=0.8, simulation=0.79, speed=10.0)
+        return record
+
+    def test_grouped_series(self, record):
+        chart = plot_record(
+            record, "n", ["analysis", "simulation"], group_by="speed"
+        )
+        assert "analysis (speed=4.0)" in chart
+        assert "simulation (speed=10.0)" in chart
+        assert "demo title" in chart
+
+    def test_ungrouped(self, record):
+        chart = plot_record(record, "n", ["analysis"])
+        assert "analysis" in chart
+
+    def test_non_numeric_cells_skipped(self):
+        record = ExperimentRecord("X", "t")
+        record.add_row(n=1, value=0.5)
+        record.add_row(n=2, value="-")
+        chart = plot_record(record, "n", ["value"])
+        assert "value" in chart

@@ -1,0 +1,53 @@
+"""Unit tests for repro.experiments.presets."""
+
+import pytest
+
+from repro.experiments.presets import (
+    ONR_COMMUNICATION_RANGE,
+    onr_scenario,
+    small_scenario,
+)
+
+
+class TestOnrScenario:
+    def test_paper_parameters(self):
+        scenario = onr_scenario()
+        assert scenario.field.width == scenario.field.height == 32_000.0
+        assert scenario.num_sensors == 240
+        assert scenario.sensing_range == 1_000.0
+        assert scenario.target_speed == 10.0
+        assert scenario.sensing_period == 60.0
+        assert scenario.detect_prob == 0.9
+        assert scenario.window == 20
+        assert scenario.threshold == 5
+
+    def test_communication_exceeds_twice_sensing(self):
+        # The sparse-deployment condition from Section 1.
+        assert ONR_COMMUNICATION_RANGE > 2 * onr_scenario().sensing_range
+
+    def test_overridable(self):
+        scenario = onr_scenario(num_sensors=60, speed=4.0, detect_prob=0.8)
+        assert scenario.num_sensors == 60
+        assert scenario.target_speed == 4.0
+        assert scenario.detect_prob == 0.8
+
+    def test_extra_override_kwargs(self):
+        scenario = onr_scenario(sensing_range=500.0)
+        assert scenario.sensing_range == 500.0
+
+
+class TestSmallScenario:
+    def test_same_ms_as_onr(self):
+        assert small_scenario().ms == onr_scenario().ms
+
+    def test_is_fast(self):
+        scenario = small_scenario()
+        assert scenario.num_sensors <= 50
+        assert scenario.field.area < onr_scenario().field.area
+
+    def test_sparse(self):
+        scenario = small_scenario()
+        assert scenario.aregion_area < 0.2 * scenario.field.area
+
+    def test_overridable(self):
+        assert small_scenario(threshold=4).threshold == 4

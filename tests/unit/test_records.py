@@ -1,0 +1,36 @@
+"""Unit tests for repro.experiments.records."""
+
+from repro.experiments.records import ExperimentRecord
+
+
+class TestExperimentRecord:
+    def test_add_row_extends_columns(self):
+        record = ExperimentRecord("X1", "test")
+        record.add_row(a=1, b=2)
+        record.add_row(a=3, c=4)
+        assert record.columns == ["a", "b", "c"]
+        assert record.rows[1] == {"a": 3, "c": 4}
+
+    def test_column_extraction_with_missing(self):
+        record = ExperimentRecord("X1", "test")
+        record.add_row(a=1, b=2)
+        record.add_row(a=3)
+        assert record.column("a") == [1, 3]
+        assert record.column("b") == [2, None]
+
+    def test_json_round_trip(self):
+        record = ExperimentRecord("FIG9A", "demo", parameters={"trials": 10})
+        record.add_row(num_sensors=60, analysis=0.42, simulation=0.41)
+        restored = ExperimentRecord.from_json(record.to_json())
+        assert restored.experiment_id == "FIG9A"
+        assert restored.title == "demo"
+        assert restored.parameters == {"trials": 10}
+        assert restored.columns == record.columns
+        assert restored.rows == record.rows
+
+    def test_from_json_defaults(self):
+        restored = ExperimentRecord.from_json(
+            '{"experiment_id": "A", "title": "t"}'
+        )
+        assert restored.rows == []
+        assert restored.columns == []

@@ -1,0 +1,75 @@
+"""Unit tests for repro.experiments.report."""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.report import (
+    load_records,
+    main,
+    render_markdown_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path) -> pathlib.Path:
+    for experiment_id, title in [
+        ("EXT-LAT", "latency"),
+        ("FIG9A", "detection"),
+        ("FIG8", "truncations"),
+    ]:
+        record = ExperimentRecord(experiment_id, title, parameters={"seed": 1})
+        record.add_row(x=1, y=0.5)
+        record.add_row(x=2, y=0.75)
+        (tmp_path / f"{experiment_id.lower()}.json").write_text(record.to_json())
+    return tmp_path
+
+
+class TestLoadRecords:
+    def test_loads_all(self, results_dir):
+        records = load_records(results_dir)
+        assert len(records) == 3
+
+    def test_paper_figures_sorted_first(self, results_dir):
+        ids = [r.experiment_id for r in load_records(results_dir)]
+        assert ids == ["FIG8", "FIG9A", "EXT-LAT"]
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_records(tmp_path / "nope")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_records(tmp_path)
+
+
+class TestRenderMarkdown:
+    def test_contains_tables_and_headers(self, results_dir):
+        markdown = render_markdown_report(load_records(results_dir))
+        assert "## FIG8 — truncations" in markdown
+        assert "| x | y |" in markdown
+        assert "| 2 | 0.7500 |" in markdown
+        assert "*Parameters*: seed=1" in markdown
+
+    def test_custom_title(self, results_dir):
+        markdown = render_markdown_report(
+            load_records(results_dir), title="My run"
+        )
+        assert markdown.startswith("# My run")
+
+
+class TestMain:
+    def test_prints_report(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "FIG9A" in out
+
+    def test_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,174 @@
+"""Unit tests for repro.core.report_dist."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.report_dist import (
+    binomial_pmf,
+    conditional_report_pmf,
+    convolution_power,
+    exact_report_pmf,
+    occupancy_pmf,
+    per_sensor_field_pmf,
+    stage_report_pmf,
+    stage_report_pmf_naive,
+)
+from repro.errors import DistributionError
+
+
+class TestBinomialPmf:
+    def test_matches_scipy(self):
+        for n, p in [(0, 0.5), (1, 0.3), (10, 0.9), (240, 0.004)]:
+            np.testing.assert_allclose(
+                binomial_pmf(n, p),
+                stats.binom.pmf(np.arange(n + 1), n, p),
+                atol=1e-12,
+            )
+
+    def test_degenerate_probabilities(self):
+        np.testing.assert_allclose(binomial_pmf(3, 0.0), [1, 0, 0, 0])
+        np.testing.assert_allclose(binomial_pmf(3, 1.0), [0, 0, 0, 1])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DistributionError):
+            binomial_pmf(-1, 0.5)
+        with pytest.raises(DistributionError):
+            binomial_pmf(3, 1.5)
+
+
+class TestConditionalReportPmf:
+    def test_single_region_is_binomial(self):
+        areas = np.array([0.0, 0.0, 10.0])  # all coverage-2
+        pmf = conditional_report_pmf(areas, 0.9)
+        np.testing.assert_allclose(pmf, binomial_pmf(2, 0.9))
+
+    def test_mixture_weights(self):
+        areas = np.array([0.0, 3.0, 1.0])
+        pmf = conditional_report_pmf(areas, 0.5)
+        expected = 0.75 * np.array([0.5, 0.5, 0.0]) + 0.25 * np.array(
+            [0.25, 0.5, 0.25]
+        )
+        np.testing.assert_allclose(pmf, expected)
+
+    def test_sums_to_one(self):
+        areas = np.array([0.0, 5.0, 2.0, 1.0, 0.5])
+        assert conditional_report_pmf(areas, 0.7).sum() == pytest.approx(1.0)
+
+    def test_padding_must_be_zero(self):
+        with pytest.raises(DistributionError):
+            conditional_report_pmf(np.array([1.0, 1.0]), 0.5)
+
+    def test_zero_total_area_rejected(self):
+        with pytest.raises(DistributionError):
+            conditional_report_pmf(np.array([0.0, 0.0]), 0.5)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(DistributionError):
+            conditional_report_pmf(np.array([0.0, -1.0, 2.0]), 0.5)
+
+
+class TestOccupancyPmf:
+    def test_total_is_stage_accuracy(self):
+        pmf = occupancy_pmf(100.0, 10_000.0, 50, max_sensors=3)
+        assert pmf.sum() == pytest.approx(
+            float(stats.binom.cdf(3, 50, 0.01))
+        )
+
+    def test_truncation_limits_support(self):
+        pmf = occupancy_pmf(100.0, 1000.0, 50, max_sensors=2)
+        assert pmf.size == 3
+
+    def test_max_above_n_keeps_everything(self):
+        pmf = occupancy_pmf(100.0, 1000.0, 5, max_sensors=10)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DistributionError):
+            occupancy_pmf(10.0, 0.0, 5, 2)
+        with pytest.raises(DistributionError):
+            occupancy_pmf(-1.0, 10.0, 5, 2)
+        with pytest.raises(DistributionError):
+            occupancy_pmf(20.0, 10.0, 5, 2)
+
+
+class TestConvolutionPower:
+    def test_power_zero_is_unit(self):
+        np.testing.assert_allclose(convolution_power([0.3, 0.7], 0), [1.0])
+
+    def test_power_one_is_identity(self):
+        np.testing.assert_allclose(convolution_power([0.3, 0.7], 1), [0.3, 0.7])
+
+    def test_bernoulli_power_is_binomial(self):
+        out = convolution_power([0.25, 0.75], 8)
+        np.testing.assert_allclose(out, binomial_pmf(8, 0.75), atol=1e-12)
+
+    def test_binary_exponentiation_matches_iteration(self):
+        pmf = np.array([0.2, 0.5, 0.3])
+        iterative = np.array([1.0])
+        for _ in range(7):
+            iterative = np.convolve(iterative, pmf)
+        np.testing.assert_allclose(convolution_power(pmf, 7), iterative, atol=1e-12)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(DistributionError):
+            convolution_power([1.0], -1)
+
+
+class TestStageReportPmf:
+    @pytest.fixture
+    def areas(self):
+        return np.array([0.0, 60.0, 25.0, 15.0])
+
+    def test_naive_matches_fast(self, areas):
+        fast = stage_report_pmf(areas, 10_000.0, 30, 0.8, max_sensors=3)
+        naive = stage_report_pmf_naive(areas, 10_000.0, 30, 0.8, max_sensors=3)
+        np.testing.assert_allclose(fast, naive, atol=1e-12)
+
+    def test_naive_matches_fast_single_sensor(self, areas):
+        fast = stage_report_pmf(areas, 10_000.0, 30, 0.8, max_sensors=1)
+        naive = stage_report_pmf_naive(areas, 10_000.0, 30, 0.8, max_sensors=1)
+        np.testing.assert_allclose(fast, naive, atol=1e-12)
+
+    def test_mass_is_occupancy_cdf(self, areas):
+        pmf = stage_report_pmf(areas, 10_000.0, 30, 0.8, max_sensors=2)
+        expected = float(stats.binom.cdf(2, 30, areas.sum() / 10_000.0))
+        assert pmf.sum() == pytest.approx(expected)
+
+    def test_support_size(self, areas):
+        pmf = stage_report_pmf(areas, 10_000.0, 30, 0.8, max_sensors=2)
+        assert pmf.size == 2 * 3 + 1  # g * i_max + 1
+
+
+class TestExactReportPmf:
+    def test_per_sensor_includes_outside_mass(self):
+        areas = np.array([0.0, 100.0])
+        pmf = per_sensor_field_pmf(areas, 1000.0, 0.9)
+        assert pmf[0] == pytest.approx(0.9 + 0.1 * 0.1)
+        assert pmf[1] == pytest.approx(0.1 * 0.9)
+
+    def test_region_exceeding_field_rejected(self):
+        with pytest.raises(DistributionError):
+            per_sensor_field_pmf(np.array([0.0, 2000.0]), 1000.0, 0.9)
+
+    def test_exact_pmf_sums_to_one(self):
+        areas = np.array([0.0, 50.0, 25.0])
+        pmf = exact_report_pmf(areas, 1000.0, 40, 0.9)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_zero_sensors_gives_unit_mass_at_zero(self):
+        areas = np.array([0.0, 50.0])
+        np.testing.assert_allclose(exact_report_pmf(areas, 1000.0, 0, 0.9), [1.0])
+
+    def test_mean_matches_expectation(self):
+        # E[reports] = N * sum_i (area_i / S) * i * Pd.
+        areas = np.array([0.0, 50.0, 25.0])
+        n, s, pd = 40, 1000.0, 0.9
+        pmf = exact_report_pmf(areas, s, n, pd)
+        mean = float(np.arange(pmf.size) @ pmf)
+        expected = n * pd * (areas[1] * 1 + areas[2] * 2) / s
+        assert mean == pytest.approx(expected)
+
+    def test_negative_sensor_count_rejected(self):
+        with pytest.raises(DistributionError):
+            exact_report_pmf(np.array([0.0, 1.0]), 10.0, -1, 0.5)

@@ -1,0 +1,34 @@
+"""Unit tests for repro.detection.reports."""
+
+import pytest
+
+from repro.detection.reports import DetectionReport
+from repro.errors import SimulationError
+from repro.geometry.shapes import Point
+
+
+class TestDetectionReport:
+    def test_fields(self):
+        report = DetectionReport(node_id=3, period=7, position=Point(1.0, 2.0))
+        assert report.node_id == 3
+        assert report.period == 7
+        assert report.position == Point(1.0, 2.0)
+
+    def test_immutable(self):
+        report = DetectionReport(0, 1, Point(0, 0))
+        with pytest.raises(AttributeError):
+            report.period = 2
+
+    def test_hashable_and_comparable(self):
+        a = DetectionReport(0, 1, Point(0, 0))
+        b = DetectionReport(0, 1, Point(0, 0))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(SimulationError):
+            DetectionReport(-1, 1, Point(0, 0))
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(SimulationError):
+            DetectionReport(0, 0, Point(0, 0))

@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.sensitivity."""
+
+import pytest
+
+from repro.core.sensitivity import SensitivityReport, parameter_elasticities
+from repro.errors import AnalysisError
+from repro.experiments.presets import onr_scenario
+
+
+@pytest.fixture(scope="module")
+def report() -> SensitivityReport:
+    return parameter_elasticities(onr_scenario(num_sensors=150))
+
+
+class TestParameterElasticities:
+    def test_all_continuous_parameters_present(self, report):
+        assert set(report.elasticities) == {
+            "num_sensors",
+            "sensing_range",
+            "target_speed",
+            "detect_prob",
+        }
+
+    def test_all_positive_in_unsaturated_regime(self, report):
+        for name, value in report.elasticities.items():
+            assert value > 0.0, name
+
+    def test_range_is_strongest_knob(self, report):
+        assert report.ranked_parameters()[0] == "sensing_range"
+
+    def test_window_helps_threshold_hurts(self, report):
+        assert report.window_step_effect > 0.0
+        assert report.threshold_step_effect < 0.0
+
+    def test_elasticity_predicts_small_changes(self, report):
+        """The elasticity linearises the model: a 5% bump in N should move
+        P by about e_N * 5%."""
+        from repro.core.markov_spatial import MarkovSpatialAnalysis
+
+        scenario = report.scenario
+        bumped = scenario.replace(
+            num_sensors=round(scenario.num_sensors * 1.05)
+        )
+        actual = MarkovSpatialAnalysis(bumped, 3).detection_probability()
+        predicted = report.detection_probability * (
+            1.05 ** report.elasticities["num_sensors"]
+        )
+        assert actual == pytest.approx(predicted, rel=0.01)
+
+    def test_saturation_shrinks_elasticities(self):
+        sparse = parameter_elasticities(onr_scenario(num_sensors=90))
+        saturated = parameter_elasticities(onr_scenario(num_sensors=240))
+        for name in sparse.elasticities:
+            assert saturated.elasticities[name] < sparse.elasticities[name], name
+
+    def test_invalid_rel_step_rejected(self):
+        with pytest.raises(AnalysisError):
+            parameter_elasticities(onr_scenario(), rel_step=0.0)
+        with pytest.raises(AnalysisError):
+            parameter_elasticities(onr_scenario(), rel_step=0.9)
+
+    def test_integer_perturbation_always_moves(self):
+        # Small fleets: 5% of 20 rounds to 1 sensor; must still perturb.
+        scenario = onr_scenario(num_sensors=20, threshold=1)
+        report = parameter_elasticities(scenario)
+        assert report.elasticities["num_sensors"] > 0.0

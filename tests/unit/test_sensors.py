@@ -1,0 +1,58 @@
+"""Unit tests for repro.deployment.sensors."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.sensors import Sensor, sensors_from_array
+from repro.errors import DeploymentError
+from repro.geometry.shapes import Point
+
+
+def make_sensor(node_id=0, x=0.0, y=0.0, sensing=10.0, comm=30.0) -> Sensor:
+    return Sensor(node_id, Point(x, y), sensing, comm)
+
+
+class TestSensor:
+    def test_can_sense_within_range(self):
+        sensor = make_sensor()
+        assert sensor.can_sense(Point(10.0, 0.0))
+        assert not sensor.can_sense(Point(10.1, 0.0))
+
+    def test_can_communicate_symmetric_ranges(self):
+        a = make_sensor(0, 0, 0, comm=30.0)
+        b = make_sensor(1, 25.0, 0, comm=30.0)
+        assert a.can_communicate_with(b)
+        assert b.can_communicate_with(a)
+
+    def test_communication_limited_by_weaker_radio(self):
+        strong = make_sensor(0, 0, 0, comm=100.0)
+        weak = make_sensor(1, 50.0, 0, comm=10.0)
+        assert not strong.can_communicate_with(weak)
+        assert not weak.can_communicate_with(strong)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(DeploymentError):
+            make_sensor(node_id=-1)
+        with pytest.raises(DeploymentError):
+            make_sensor(sensing=-1.0)
+        with pytest.raises(DeploymentError):
+            make_sensor(comm=-1.0)
+
+
+class TestSensorsFromArray:
+    def test_ids_follow_row_order(self):
+        sensors = sensors_from_array(np.array([[0.0, 1.0], [2.0, 3.0]]), 5.0, 10.0)
+        assert [s.node_id for s in sensors] == [0, 1]
+        assert sensors[1].position == Point(2.0, 3.0)
+
+    def test_ranges_propagate(self):
+        sensors = sensors_from_array(np.array([[0.0, 0.0]]), 7.0, 21.0)
+        assert sensors[0].sensing_range == 7.0
+        assert sensors[0].communication_range == 21.0
+
+    def test_empty_array(self):
+        assert sensors_from_array(np.empty((0, 2)), 1.0, 2.0) == []
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(DeploymentError):
+            sensors_from_array(np.zeros((2, 3)), 1.0, 2.0)

@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.single_period (Section 3.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.single_period import (
+    detection_probability_single_period,
+    report_count_pmf_single_period,
+)
+from repro.errors import AnalysisError
+from repro.experiments.presets import onr_scenario
+
+
+@pytest.fixture
+def single_period():
+    return onr_scenario(window=1, threshold=1)
+
+
+class TestReportCountPmf:
+    def test_is_binomial(self, single_period):
+        pmf = report_count_pmf_single_period(single_period)
+        assert pmf.size == single_period.num_sensors + 1
+        assert pmf.sum() == pytest.approx(1.0)
+        # Eq. 1 at k=0: (1 - p_indi)^N.
+        expected0 = (1.0 - single_period.p_indi) ** single_period.num_sensors
+        assert pmf[0] == pytest.approx(expected0)
+
+    def test_mean_matches_n_p(self, single_period):
+        pmf = report_count_pmf_single_period(single_period)
+        mean = float(np.arange(pmf.size) @ pmf)
+        assert mean == pytest.approx(
+            single_period.num_sensors * single_period.p_indi
+        )
+
+    def test_eq1_explicit_k(self, single_period):
+        pmf = report_count_pmf_single_period(single_period)
+        n, p = single_period.num_sensors, single_period.p_indi
+        expected2 = math.comb(n, 2) * p**2 * (1 - p) ** (n - 2)
+        assert pmf[2] == pytest.approx(expected2)
+
+
+class TestDetectionProbability:
+    def test_complements_pmf_head(self, single_period):
+        pmf = report_count_pmf_single_period(single_period)
+        p_detect = detection_probability_single_period(single_period)
+        assert p_detect == pytest.approx(1.0 - pmf[0])
+
+    def test_threshold_two(self):
+        scenario = onr_scenario(window=1, threshold=2)
+        pmf = report_count_pmf_single_period(scenario)
+        p_detect = detection_probability_single_period(scenario)
+        assert p_detect == pytest.approx(1.0 - pmf[0] - pmf[1])
+
+    def test_sparse_single_period_detection_is_weak(self, single_period):
+        # The motivation of Section 3.1's discussion: with k=1, M=1 in a
+        # sparse network, even the best case detects with low probability.
+        assert detection_probability_single_period(single_period) < 0.65
+
+    def test_higher_threshold_means_lower_probability(self):
+        values = [
+            detection_probability_single_period(onr_scenario(window=1, threshold=k))
+            for k in (1, 2, 3, 5)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_multi_period_scenario_rejected(self, onr):
+        with pytest.raises(AnalysisError):
+            detection_probability_single_period(onr)

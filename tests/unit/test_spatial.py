@@ -1,0 +1,84 @@
+"""Unit tests for repro.core.spatial (the S-approach)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spatial import SApproach
+from repro.errors import AnalysisError
+from repro.experiments.presets import onr_scenario
+
+
+class TestConstruction:
+    def test_valid(self, onr):
+        approach = SApproach(onr, max_sensors=4)
+        assert approach.max_sensors == 4
+        assert approach.scenario is onr
+
+    def test_invalid_truncation_rejected(self, onr):
+        with pytest.raises(AnalysisError):
+            SApproach(onr, max_sensors=0)
+
+    def test_small_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            SApproach(onr_scenario(window=3, threshold=1))
+
+    def test_region_areas_copy_is_defensive(self, onr):
+        approach = SApproach(onr)
+        areas = approach.region_areas
+        areas[:] = 0.0
+        assert approach.region_areas.sum() > 0.0
+
+
+class TestAccuracy:
+    def test_accuracy_grows_with_truncation(self, onr):
+        values = [SApproach(onr, g).accuracy() for g in (1, 3, 6, 10, 14)]
+        assert values == sorted(values)
+        # ~6.4 sensors are expected inside the ARegion at N=240, so small
+        # truncations capture very little — the S-approach's core problem.
+        assert values[0] < 0.05
+        assert values[-1] > 0.95
+
+    def test_accuracy_below_one_when_truncated(self, onr):
+        assert SApproach(onr, max_sensors=2).accuracy() < 1.0
+
+
+class TestDetectionProbability:
+    def test_pmf_mass_equals_accuracy(self, onr):
+        approach = SApproach(onr, max_sensors=5)
+        assert approach.report_count_pmf().sum() == pytest.approx(
+            approach.accuracy()
+        )
+
+    def test_normalized_in_unit_interval(self, onr):
+        p = SApproach(onr, max_sensors=6).detection_probability()
+        assert 0.0 <= p <= 1.0
+
+    def test_unnormalized_below_normalized(self, onr):
+        approach = SApproach(onr, max_sensors=4)
+        assert approach.detection_probability(
+            normalize=False
+        ) <= approach.detection_probability(normalize=True)
+
+    def test_threshold_zero_is_certain_after_normalisation(self, onr):
+        assert SApproach(onr, 5).detection_probability(threshold=0) == pytest.approx(
+            1.0
+        )
+
+    def test_threshold_monotone(self, onr):
+        approach = SApproach(onr, max_sensors=6)
+        values = [approach.detection_probability(threshold=k) for k in (1, 3, 5, 9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_threshold_beyond_support_is_zero(self, onr):
+        approach = SApproach(onr, max_sensors=2)
+        assert approach.detection_probability(threshold=10_000) == 0.0
+
+    def test_negative_threshold_rejected(self, onr):
+        with pytest.raises(AnalysisError):
+            SApproach(onr, 3).detection_probability(threshold=-1)
+
+    def test_naive_mode_agrees(self, small):
+        approach = SApproach(small, max_sensors=2)
+        fast = approach.report_count_pmf(naive=False)
+        naive = approach.report_count_pmf(naive=True)
+        np.testing.assert_allclose(fast, naive, atol=1e-12)

@@ -1,0 +1,70 @@
+"""Unit tests for repro.geometry.stadium."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.shapes import Point, Segment
+from repro.geometry.stadium import Stadium
+
+
+@pytest.fixture
+def stadium() -> Stadium:
+    return Stadium(Segment(Point(0, 0), Point(10, 0)), radius=2.0)
+
+
+class TestStadium:
+    def test_area_formula(self, stadium):
+        assert stadium.area == pytest.approx(2 * 2.0 * 10.0 + math.pi * 4.0)
+
+    def test_degenerate_segment_is_circle(self):
+        dot = Stadium(Segment(Point(1, 1), Point(1, 1)), radius=3.0)
+        assert dot.area == pytest.approx(math.pi * 9.0)
+
+    def test_contains_on_core(self, stadium):
+        assert stadium.contains(Point(5, 0))
+
+    def test_contains_side(self, stadium):
+        assert stadium.contains(Point(5, 2.0))
+        assert not stadium.contains(Point(5, 2.0001))
+
+    def test_contains_end_cap(self, stadium):
+        assert stadium.contains(Point(11.9, 0))
+        assert stadium.contains(Point(-1.4, 1.4))
+        assert not stadium.contains(Point(12.1, 0))
+
+    def test_distance_inside_is_zero(self, stadium):
+        assert stadium.distance_to(Point(3, 1)) == 0.0
+
+    def test_distance_outside(self, stadium):
+        assert stadium.distance_to(Point(5, 5)) == pytest.approx(3.0)
+
+    def test_bounding_box(self, stadium):
+        assert stadium.bounding_box() == (-2.0, -2.0, 12.0, 2.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Stadium(Segment(Point(0, 0), Point(1, 0)), radius=-1.0)
+
+
+class TestAggregateArea:
+    def test_matches_paper_formula(self):
+        # 2*M*Rs*V*t + pi*Rs^2 with Rs=1000, V*t=600, M=20.
+        area = Stadium.aggregate_area(1000.0, 600.0, 20)
+        assert area == pytest.approx(2 * 20 * 1000 * 600 + math.pi * 1000.0**2)
+
+    def test_single_period_equals_dr(self):
+        assert Stadium.aggregate_area(2.0, 10.0, 1) == pytest.approx(
+            Stadium(Segment(Point(0, 0), Point(10, 0)), 2.0).area
+        )
+
+    def test_invalid_periods_rejected(self):
+        with pytest.raises(GeometryError):
+            Stadium.aggregate_area(1.0, 1.0, 0)
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(GeometryError):
+            Stadium.aggregate_area(-1.0, 1.0, 1)
+        with pytest.raises(GeometryError):
+            Stadium.aggregate_area(1.0, -1.0, 1)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.simulation.streams."""
+
+import numpy as np
+import pytest
+
+from repro.detection.group import GroupDetector
+from repro.errors import SimulationError
+from repro.simulation.streams import ReportStreamEpisode, simulate_report_stream
+
+
+class TestSimulateReportStream:
+    def test_episode_shape(self, small):
+        episode = simulate_report_stream(small, rng=1)
+        assert episode.sensor_positions.shape == (small.num_sensors, 2)
+        assert episode.waypoints.shape == (small.window + 1, 2)
+        assert len(episode.periods) == small.window
+
+    def test_reports_carry_matching_periods(self, small):
+        episode = simulate_report_stream(small, rng=2)
+        for period, reports in episode.stream():
+            for report in reports:
+                assert report.period == period
+                assert 0 <= report.node_id < small.num_sensors
+
+    def test_report_positions_match_sensors(self, small):
+        episode = simulate_report_stream(small, rng=3)
+        for _, reports in episode.stream():
+            for report in reports:
+                sensor = episode.sensor_positions[report.node_id]
+                assert report.position.x == pytest.approx(sensor[0])
+                assert report.position.y == pytest.approx(sensor[1])
+
+    def test_counts_consistent(self, small):
+        episode = simulate_report_stream(small, rng=4, false_alarm_prob=0.01)
+        total = sum(len(reports) for _, reports in episode.stream())
+        assert total == episode.total_report_count
+        assert episode.false_report_count > 0
+
+    def test_quiet_episode_has_no_true_reports(self, small):
+        episode = simulate_report_stream(
+            small, rng=5, target_present=False, false_alarm_prob=0.01
+        )
+        assert episode.true_report_count == 0
+        assert episode.waypoints is None
+
+    def test_quiet_episode_without_noise_is_silent(self, small):
+        episode = simulate_report_stream(small, rng=6, target_present=False)
+        assert episode.total_report_count == 0
+
+    def test_fixed_start(self, small):
+        start = np.array([100.0, 200.0])
+        episode = simulate_report_stream(small, rng=7, start=start)
+        np.testing.assert_allclose(episode.waypoints[0], start)
+
+    def test_seed_reproducibility(self, small):
+        a = simulate_report_stream(small, rng=8)
+        b = simulate_report_stream(small, rng=8)
+        np.testing.assert_array_equal(a.sensor_positions, b.sensor_positions)
+        assert a.true_report_count == b.true_report_count
+
+    def test_invalid_false_alarm_prob_rejected(self, small):
+        with pytest.raises(SimulationError):
+            simulate_report_stream(small, false_alarm_prob=1.0)
+
+
+class TestStreamFeedsDetector:
+    def test_detector_consumes_episode(self, small):
+        episode = simulate_report_stream(small, rng=9)
+        detector = GroupDetector(small.window, small.threshold)
+        fired = detector.process_stream(episode.stream())
+        expected = episode.true_report_count >= small.threshold
+        assert fired == expected
+
+    def test_detection_rate_matches_runner(self, small):
+        """Stream-based episodes reproduce the runner's detection rate."""
+        from repro.simulation.runner import MonteCarloSimulator
+
+        episodes = 400
+        rng = np.random.default_rng(77)
+        hits = sum(
+            simulate_report_stream(small, rng=rng).true_report_count
+            >= small.threshold
+            for _ in range(episodes)
+        )
+        stream_rate = hits / episodes
+        runner_rate = (
+            MonteCarloSimulator(small, trials=4000, seed=78, boundary="clip")
+            .run()
+            .detection_probability
+        )
+        assert stream_rate == pytest.approx(runner_rate, abs=0.06)

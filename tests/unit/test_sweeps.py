@@ -1,0 +1,38 @@
+"""Unit tests for repro.experiments.sweeps."""
+
+from repro.experiments.sweeps import grid_sweep, sweep
+
+
+class TestSweep:
+    def test_applies_in_order(self):
+        rows = sweep([1, 2, 3], lambda v: {"value": v, "square": v * v})
+        assert rows == [
+            {"value": 1, "square": 1},
+            {"value": 2, "square": 4},
+            {"value": 3, "square": 9},
+        ]
+
+    def test_empty(self):
+        assert sweep([], lambda v: {}) == []
+
+
+class TestGridSweep:
+    def test_cartesian_product_row_major(self):
+        rows = grid_sweep(
+            {"a": [1, 2], "b": ["x", "y"]},
+            lambda a, b: {"a": a, "b": b},
+        )
+        assert rows == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_single_axis(self):
+        rows = grid_sweep({"n": [10, 20]}, lambda n: {"n2": n * 2})
+        assert rows == [{"n2": 20}, {"n2": 40}]
+
+    def test_empty_grid_runs_once(self):
+        rows = grid_sweep({}, lambda: {"ok": True})
+        assert rows == [{"ok": True}]

@@ -1,0 +1,46 @@
+"""Unit tests for repro.experiments.tables."""
+
+import pytest
+
+from repro.experiments.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_bool_and_none(self):
+        assert format_value(True) == "True"
+        assert format_value(None) == "None"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["n", "value"], [[1, 0.5], [100, 0.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # All lines have equal width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_contains_cells(self):
+        table = render_table(["a"], [[1.23456789]])
+        assert "1.2346" in table
+
+    def test_custom_precision(self):
+        table = render_table(["a"], [[1.23456789]], precision=2)
+        assert "1.23" in table
+        assert "1.2346" not in table
+
+    def test_empty_body(self):
+        table = render_table(["x", "y"], [])
+        assert table.splitlines()[0].split() == ["x", "y"]
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

@@ -1,0 +1,67 @@
+"""Unit tests for repro.experiments.validation."""
+
+import pytest
+
+from repro.experiments.validation import (
+    ValidationCheck,
+    ValidationSummary,
+    run_validation,
+)
+
+
+class TestValidationSummary:
+    def test_passed_requires_all_checks(self):
+        summary = ValidationSummary(
+            checks=[
+                ValidationCheck("a", True, "ok"),
+                ValidationCheck("b", True, "ok"),
+            ]
+        )
+        assert summary.passed
+        summary.checks.append(ValidationCheck("c", False, "broken"))
+        assert not summary.passed
+
+    def test_render_contains_verdict_and_details(self):
+        summary = ValidationSummary(
+            checks=[ValidationCheck("thing", False, "went wrong")],
+            elapsed_seconds=1.5,
+        )
+        text = summary.render()
+        assert "[FAIL] thing: went wrong" in text
+        assert "REPRODUCTION BROKEN" in text
+        assert "0/1 checks" in text
+
+    def test_render_ok_verdict(self):
+        summary = ValidationSummary(
+            checks=[ValidationCheck("thing", True, "fine")]
+        )
+        assert "REPRODUCTION OK" in summary.render()
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def summary(self) -> ValidationSummary:
+        return run_validation(trials=800, seed=3)
+
+    def test_all_checks_pass(self, summary):
+        assert summary.passed, summary.render()
+
+    def test_covers_the_headline_claims(self, summary):
+        names = " ".join(check.name for check in summary.checks)
+        assert "engines" in names
+        assert "oracle" in names
+        assert "Fig. 9a" in names
+        assert "Fig. 8" in names
+        assert "runtime" in names
+
+    def test_reports_elapsed_time(self, summary):
+        assert summary.elapsed_seconds > 0.0
+
+
+class TestValidateCli:
+    def test_cli_exit_code_and_output(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["validate", "--trials", "500", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCTION OK" in out
