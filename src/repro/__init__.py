@@ -16,9 +16,10 @@ Quickstart::
     print("analysis:", analysis.detection_probability())
 
     sim = MonteCarloSimulator(scenario, trials=10_000, seed=7)
-    print("simulation:", sim.run().detection_probability)
+    print("simulation:", sim.run(workers=4).detection_probability)
 """
 
+from repro.cache import AnalysisCache, analysis_cache, clear_analysis_cache
 from repro.core import (
     DetectionLatencyAnalysis,
     ExactSpatialAnalysis,
@@ -41,6 +42,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.experiments.presets import onr_scenario
+from repro.parallel import available_workers, parallel_map
 from repro.simulation import (
     MonteCarloSimulator,
     RandomWalkTarget,
@@ -51,6 +53,7 @@ from repro.simulation import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisError",
     "DeploymentError",
     "DetectionLatencyAnalysis",
@@ -72,7 +75,11 @@ __all__ = [
     "SimulationResult",
     "StraightLineTarget",
     "__version__",
+    "analysis_cache",
+    "available_workers",
+    "clear_analysis_cache",
     "deploy_uniform",
     "detection_probability_single_period",
     "onr_scenario",
+    "parallel_map",
 ]

@@ -1,0 +1,181 @@
+"""Scenario-keyed memoization of expensive derived quantities.
+
+Parameter sweeps evaluate the analysis over grids where most points share
+their *geometry*: a ``k``-sweep changes only the detection rule, an
+``N``-sweep changes only the occupancy binomial.  Yet the seed code
+recomputed the region decomposition (Eqs. 6/8/10) and the stage report
+pmfs at every grid point.  This module provides one process-wide
+:class:`AnalysisCache` (hit/miss instrumented) plus the key-derivation
+helpers that state *exactly* which scenario fields each quantity depends
+on:
+
+========================  ====================================================
+quantity                  key fields
+========================  ====================================================
+region areas (Eq. 6-10)   ``sensing_range``, ``step_length`` (= V * t)
+``window_regions``        the above + the window-prefix length
+stage report pmfs         subarea bytes + ``field_area``, ``num_sensors``,
+                          ``detect_prob``, truncation, substeps
+Monte Carlo area est.     ``sensing_range``, ``step_length``, periods,
+                          samples, integer seed (uncached otherwise)
+========================  ====================================================
+
+``threshold`` (``k``) appears in *no* key — sweeping the detection rule is
+free after the first grid point.  Cached arrays are returned read-only so
+an accidental in-place mutation cannot poison later lookups.
+
+The cache is intentionally per-process: worker processes spawned by
+:mod:`repro.parallel` build their own (a fork inherits the parent's warm
+entries for free on platforms that fork).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AnalysisCache",
+    "analysis_cache",
+    "clear_analysis_cache",
+    "cached_array",
+    "pmf_key",
+    "region_geometry_key",
+]
+
+
+class AnalysisCache:
+    """A thread-safe memo table with hit/miss counters.
+
+    Args:
+        max_entries: optional bound; the oldest entry is evicted first
+            (insertion order).  ``None`` (default) keeps everything —
+            entries are small arrays, and :meth:`clear` is cheap.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the table."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to compute."""
+        return self._misses
+
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on first use."""
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                return self._entries[key]
+        # Compute outside the lock: computations can be slow and may
+        # themselves consult the cache (e.g. pmfs built from region areas).
+        value = compute()
+        with self._lock:
+            if key in self._entries:  # lost a race; keep the first value
+                return self._entries[key]
+            self._misses += 1
+            self._entries[key] = value
+            if (
+                self._max_entries is not None
+                and len(self._entries) > self._max_entries
+            ):
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> dict:
+        """JSON-serialisable snapshot (for benchmark records and logs)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self._hits,
+            "misses": self._misses,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+_DEFAULT_CACHE = AnalysisCache()
+
+
+def analysis_cache() -> AnalysisCache:
+    """The process-wide cache used by the analysis modules."""
+    return _DEFAULT_CACHE
+
+
+def clear_analysis_cache() -> None:
+    """Reset the process-wide cache (entries and counters)."""
+    _DEFAULT_CACHE.clear()
+
+
+def cached_array(key: Hashable, compute: Callable[[], np.ndarray]) -> np.ndarray:
+    """Memoize an array-valued computation, freezing the stored copy.
+
+    The returned array has ``writeable=False``: callers must copy before
+    mutating, which keeps every consumer honest about shared state.
+    """
+
+    def compute_frozen() -> np.ndarray:
+        value = np.asarray(compute())
+        value.setflags(write=False)
+        return value
+
+    return _DEFAULT_CACHE.get_or_compute(key, compute_frozen)
+
+
+def region_geometry_key(scenario) -> Tuple[float, float]:
+    """The fields the region decomposition depends on: ``(Rs, V * t)``.
+
+    ``ms`` is derived from these two, and neither ``N``, ``Pd``, ``k``,
+    ``M`` nor the field dimensions affect Eqs. 6/8/10.
+    """
+    return (float(scenario.sensing_range), float(scenario.step_length))
+
+
+def pmf_key(scenario, truncation: int, substeps: int, subareas) -> Tuple:
+    """Cache key for a stage report pmf.
+
+    Keyed by the subarea vector itself (the geometry, byte-exact) plus the
+    occupancy/detection parameters.  Field *area* — not width and height
+    separately — is what the occupancy binomial sees.
+    """
+    areas = np.ascontiguousarray(subareas, dtype=float)
+    return (
+        "stage_pmf",
+        areas.tobytes(),
+        float(scenario.field_area),
+        int(scenario.num_sensors),
+        float(scenario.detect_prob),
+        int(truncation),
+        int(substeps),
+    )

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.cache import cached_array, pmf_key
 from repro.core.regions import body_subareas, head_subareas, tail_subareas
 from repro.core.report_dist import stage_report_pmf
 from repro.core.scenario import Scenario
@@ -146,17 +147,31 @@ class MarkovSpatialAnalysis:
             combined = np.convolve(combined, slice_pmf)
         return combined
 
+    def _cached_stage_pmf(
+        self, subareas: np.ndarray, truncation: int
+    ) -> np.ndarray:
+        """Memoized :meth:`_stage_pmf` (see :mod:`repro.cache`).
+
+        The key carries the subarea vector byte-exact plus every occupancy
+        parameter, and deliberately excludes the threshold ``k`` — a
+        ``k``-sweep reuses all stage pmfs.  Cached pmfs are read-only.
+        """
+        return cached_array(
+            pmf_key(self._scenario, truncation, self._substeps, subareas),
+            lambda: self._stage_pmf(subareas, truncation),
+        )
+
     def head_stage_pmf(self) -> np.ndarray:
         """``p_{h:m}``: report pmf of the Head NEDR (substochastic)."""
-        return self._stage_pmf(head_subareas(self._scenario), self._gh)
+        return self._cached_stage_pmf(head_subareas(self._scenario), self._gh)
 
     def body_stage_pmf(self) -> np.ndarray:
         """``p_{b:m}``: report pmf of one Body NEDR (substochastic)."""
-        return self._stage_pmf(body_subareas(self._scenario), self._g)
+        return self._cached_stage_pmf(body_subareas(self._scenario), self._g)
 
     def tail_stage_pmf(self, tail_index: int) -> np.ndarray:
         """``p_{tj:m}``: report pmf of Tail NEDR ``T_j`` (substochastic)."""
-        return self._stage_pmf(
+        return self._cached_stage_pmf(
             tail_subareas(self._scenario, tail_index), self._g
         )
 

@@ -15,6 +15,12 @@ Two implementations of ``AreaH`` are provided and cross-checked in tests:
 The closed form is what the rest of the library uses (it is simpler and has
 better numerical behaviour); the literal form documents fidelity to the
 paper.
+
+The scenario-level helpers (:func:`head_subareas` .. :func:`window_regions`)
+memoize their results in :func:`repro.cache.analysis_cache`, keyed by the
+geometry fields only (``Rs`` and ``V * t``; plus the window length where it
+matters) — sweeps over ``N``, ``Pd`` or ``k`` reuse one decomposition.
+Cached arrays are read-only; ``.copy()`` before mutating.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import math
 
 import numpy as np
 
+from repro.cache import cached_array, region_geometry_key
 from repro.core.scenario import Scenario
 from repro.errors import AnalysisError, GeometryError
 from repro.geometry.circle_math import circle_lens_area
@@ -162,18 +169,34 @@ def area_t(body_areas: np.ndarray, tail_index: int) -> np.ndarray:
 
 
 def head_subareas(scenario: Scenario) -> np.ndarray:
-    """``AreaH(i)`` for a scenario (closed form)."""
-    return area_h_closed_form(scenario.sensing_range, scenario.step_length, scenario.ms)
+    """``AreaH(i)`` for a scenario (closed form; cached, read-only).
+
+    Memoized on :func:`repro.cache.region_geometry_key` — scenarios that
+    differ only in ``N``, ``Pd``, ``M``, ``k`` or field size share one
+    entry.
+    """
+    return cached_array(
+        ("area_h", region_geometry_key(scenario)),
+        lambda: area_h_closed_form(
+            scenario.sensing_range, scenario.step_length, scenario.ms
+        ),
+    )
 
 
 def body_subareas(scenario: Scenario) -> np.ndarray:
-    """``AreaB(i)`` for a scenario."""
-    return area_b(head_subareas(scenario))
+    """``AreaB(i)`` for a scenario (cached, read-only)."""
+    return cached_array(
+        ("area_b", region_geometry_key(scenario)),
+        lambda: area_b(head_subareas(scenario)),
+    )
 
 
 def tail_subareas(scenario: Scenario, tail_index: int) -> np.ndarray:
-    """``AreaT_j(i)`` for a scenario."""
-    return area_t(body_subareas(scenario), tail_index)
+    """``AreaT_j(i)`` for a scenario (cached, read-only)."""
+    return cached_array(
+        ("area_t", region_geometry_key(scenario), int(tail_index)),
+        lambda: area_t(body_subareas(scenario), tail_index),
+    )
 
 
 def s_approach_regions(scenario: Scenario) -> np.ndarray:
@@ -197,12 +220,18 @@ def s_approach_regions(scenario: Scenario) -> np.ndarray:
             f"(M={scenario.window}, ms={scenario.ms}); use "
             "window_regions(scenario, scenario.window)"
         )
-    head = head_subareas(scenario)
-    body = area_b(head)
-    regions = head + scenario.body_steps * body
-    for j in range(1, scenario.ms + 1):
-        regions += area_t(body, j)
-    return regions
+
+    def compute() -> np.ndarray:
+        head = head_subareas(scenario)
+        body = area_b(head)
+        regions = head + scenario.body_steps * body
+        for j in range(1, scenario.ms + 1):
+            regions += area_t(body, j)
+        return regions
+
+    return cached_array(
+        ("s_regions", region_geometry_key(scenario), scenario.window), compute
+    )
 
 
 def _truncate_coverage(areas: np.ndarray, max_coverage: int) -> np.ndarray:
@@ -238,10 +267,16 @@ def window_regions(scenario: Scenario, periods: int) -> np.ndarray:
         raise AnalysisError(
             f"periods must be in 1..{scenario.window}, got {periods}"
         )
-    head = head_subareas(scenario)
-    body = area_b(head)
-    regions = _truncate_coverage(head, periods)
-    for start_period in range(2, periods + 1):
-        remaining = periods - start_period + 1
-        regions += _truncate_coverage(body, remaining)
-    return regions
+
+    def compute() -> np.ndarray:
+        head = head_subareas(scenario)
+        body = area_b(head)
+        regions = _truncate_coverage(head, periods)
+        for start_period in range(2, periods + 1):
+            remaining = periods - start_period + 1
+            regions += _truncate_coverage(body, remaining)
+        return regions
+
+    return cached_array(
+        ("w_regions", region_geometry_key(scenario), int(periods)), compute
+    )

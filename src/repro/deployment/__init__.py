@@ -5,6 +5,7 @@ from repro.deployment.field import SensorField
 from repro.deployment.sensors import Sensor, sensors_from_array
 from repro.deployment.strategies import (
     deploy_grid,
+    deploy_grid_batched,
     deploy_poisson,
     deploy_uniform,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "SensorField",
     "apply_drift",
     "deploy_grid",
+    "deploy_grid_batched",
     "deploy_poisson",
     "deploy_uniform",
     "drift_deployment_strategy",

@@ -19,7 +19,12 @@ import numpy as np
 from repro.deployment.field import SensorField
 from repro.errors import DeploymentError
 
-__all__ = ["deploy_uniform", "deploy_poisson", "deploy_grid"]
+__all__ = [
+    "deploy_uniform",
+    "deploy_poisson",
+    "deploy_grid",
+    "deploy_grid_batched",
+]
 
 _RngLike = Union[None, int, np.random.Generator]
 
@@ -114,4 +119,36 @@ def deploy_grid(
         points = points + generator.uniform(-jitter, jitter, size=points.shape)
         points[:, 0] = np.clip(points[:, 0], 0.0, field.width)
         points[:, 1] = np.clip(points[:, 1], 0.0, field.height)
+    return points
+
+
+def deploy_grid_batched(
+    field: SensorField,
+    num_sensors: int,
+    rng: _RngLike = None,
+    batch: int = 1,
+    jitter: float = 0.0,
+) -> np.ndarray:
+    """Batched :func:`deploy_grid`: ``batch`` independent jittered grids.
+
+    Matches the :class:`~repro.simulation.runner.MonteCarloSimulator`
+    batched deployment convention (fourth parameter named ``batch``), so
+    passing ``functools.partial(deploy_grid_batched, jitter=500.0)`` as
+    ``deployment=`` draws one jitter block per vectorised batch instead of
+    one Python call per trial — and stays picklable for parallel runs.
+
+    Returns:
+        ``(batch, num_sensors, 2)`` float array of positions.
+    """
+    if batch < 1:
+        raise DeploymentError(f"batch must be >= 1, got {batch}")
+    base = deploy_grid(field, num_sensors, jitter=0.0)
+    points = np.broadcast_to(base, (batch,) + base.shape).copy()
+    if jitter < 0:
+        raise DeploymentError(f"jitter must be non-negative, got {jitter}")
+    if jitter > 0 and num_sensors > 0:
+        generator = _as_rng(rng)
+        points += generator.uniform(-jitter, jitter, size=points.shape)
+        points[..., 0] = np.clip(points[..., 0], 0.0, field.width)
+        points[..., 1] = np.clip(points[..., 1], 0.0, field.height)
     return points

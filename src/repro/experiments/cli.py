@@ -30,15 +30,21 @@ def _run_fig8(args: argparse.Namespace) -> ExperimentRecord:
 
 
 def _run_fig9a(args: argparse.Namespace) -> ExperimentRecord:
-    return figures.fig9a_straight_line(trials=args.trials, seed=args.seed)
+    return figures.fig9a_straight_line(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
 
 
 def _run_fig9b(args: argparse.Namespace) -> ExperimentRecord:
-    return figures.fig9b_unnormalized(trials=args.trials, seed=args.seed)
+    return figures.fig9b_unnormalized(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
 
 
 def _run_fig9c(args: argparse.Namespace) -> ExperimentRecord:
-    return figures.fig9c_random_walk(trials=args.trials, seed=args.seed)
+    return figures.fig9c_random_walk(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
 
 
 def _run_runtime(args: argparse.Namespace) -> ExperimentRecord:
@@ -179,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=20080617, help="simulation seed (default: 20080617)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for Monte Carlo experiments (default: 1, "
+        "serial; >1 fans trial shards over a process pool with independent "
+        "SeedSequence streams)",
     )
     parser.add_argument(
         "--accuracy",

@@ -8,6 +8,7 @@ experiment index and EXPERIMENTS.md for measured results.
 
 from __future__ import annotations
 
+import functools
 import math
 import time
 from typing import Optional, Sequence
@@ -28,7 +29,7 @@ from repro.core.markov_spatial import MarkovSpatialAnalysis
 from repro.core.multinode import MultiNodeAnalysis
 from repro.core.spatial import SApproach
 from repro.core.temporal import t_approach_state_count
-from repro.deployment.strategies import deploy_grid, deploy_uniform
+from repro.deployment.strategies import deploy_grid_batched, deploy_uniform
 from repro.experiments.presets import ONR_COMMUNICATION_RANGE, onr_scenario
 from repro.experiments.records import ExperimentRecord
 from repro.network.graph import build_connectivity_graph
@@ -112,6 +113,7 @@ def _detection_sweep(
     random_walk: bool,
     boundary: str = "torus",
     truncation: int = 3,
+    workers: int = 1,
 ) -> ExperimentRecord:
     record = ExperimentRecord(
         experiment_id=experiment_id,
@@ -123,6 +125,7 @@ def _detection_sweep(
             "target": "random_walk" if random_walk else "straight",
             "boundary": boundary,
             "truncation": truncation,
+            "workers": workers,
         },
     )
     for speed in speeds:
@@ -142,7 +145,7 @@ def _detection_sweep(
                 seed=seed,
                 target=target,
                 boundary=boundary,
-            ).run()
+            ).run(workers=workers)
             low, high = result.confidence_interval()
             record.add_row(
                 num_sensors=count,
@@ -161,6 +164,7 @@ def fig9a_straight_line(
     speeds: Sequence[float] = (4.0, 10.0),
     trials: int = 10_000,
     seed: Optional[int] = 20080617,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Fig. 9(a): normalised analysis vs simulation, straight-line target."""
     return _detection_sweep(
@@ -172,6 +176,7 @@ def fig9a_straight_line(
         seed,
         normalize=True,
         random_walk=False,
+        workers=workers,
     )
 
 
@@ -180,6 +185,7 @@ def fig9b_unnormalized(
     speeds: Sequence[float] = (4.0, 10.0),
     trials: int = 10_000,
     seed: Optional[int] = 20080617,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Fig. 9(b): analysis *without* Eq. 13 normalisation vs simulation."""
     return _detection_sweep(
@@ -191,6 +197,7 @@ def fig9b_unnormalized(
         seed,
         normalize=False,
         random_walk=False,
+        workers=workers,
     )
 
 
@@ -199,6 +206,7 @@ def fig9c_random_walk(
     speeds: Sequence[float] = (4.0, 10.0),
     trials: int = 10_000,
     seed: Optional[int] = 20080617,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """Fig. 9(c): straight-line analysis vs random-walk simulation."""
     return _detection_sweep(
@@ -210,6 +218,7 @@ def fig9c_random_walk(
         seed,
         normalize=True,
         random_walk=True,
+        workers=workers,
     )
 
 
@@ -537,9 +546,7 @@ def deployment_ablation(
         deviation_from_model=abs(uniform.detection_probability - analysis),
     )
     for jitter in grid_jitters:
-        def deploy(field, count, rng, _jitter=jitter):
-            return deploy_grid(field, count, jitter=_jitter, rng=rng)
-
+        deploy = functools.partial(deploy_grid_batched, jitter=jitter)
         result = MonteCarloSimulator(
             scenario, trials=trials, seed=seed, deployment=deploy
         ).run()

@@ -1,22 +1,41 @@
-"""Generic parameter sweep helpers."""
+"""Generic parameter sweep helpers, optionally fanned over processes.
+
+Both helpers accept ``workers=N``: grid points are evaluated by
+:func:`repro.parallel.parallel_map` on a process pool, in input order, so
+parallel and serial sweeps return identical row lists whenever ``compute``
+is deterministic.  ``compute`` must then be picklable (a module-level
+function or :func:`functools.partial`) — lambdas and closures only work at
+``workers=1``.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Sequence
 
+from repro.parallel import parallel_map
+
 __all__ = ["sweep", "grid_sweep"]
 
 
 def sweep(
-    values: Iterable[Any], compute: Callable[[Any], Dict[str, Any]]
+    values: Iterable[Any],
+    compute: Callable[[Any], Dict[str, Any]],
+    workers: int = 1,
 ) -> List[Dict[str, Any]]:
-    """Apply ``compute`` to each value, returning one row dict per value."""
-    return [compute(value) for value in values]
+    """Apply ``compute`` to each value, returning one row dict per value.
+
+    Args:
+        values: the sweep axis.
+        compute: maps one value to a row dict.
+        workers: process count; ``1`` (default) runs inline.
+    """
+    return parallel_map(compute, list(values), workers=workers)
 
 
 def grid_sweep(
     grids: Dict[str, Sequence[Any]],
     compute: Callable[..., Dict[str, Any]],
+    workers: int = 1,
 ) -> List[Dict[str, Any]]:
     """Cartesian-product sweep.
 
@@ -24,16 +43,17 @@ def grid_sweep(
         grids: mapping from keyword-argument name to the values it takes.
         compute: called once per grid point with those keyword arguments;
             returns a row dict.
+        workers: process count; ``1`` (default) runs inline.
 
     Returns:
         Rows in row-major (first key slowest) order.
     """
     names = list(grids)
-    rows: List[Dict[str, Any]] = []
+    points: List[Dict[str, Any]] = []
 
     def recurse(index: int, bound: Dict[str, Any]) -> None:
         if index == len(names):
-            rows.append(compute(**bound))
+            points.append(dict(bound))
             return
         name = names[index]
         for value in grids[name]:
@@ -42,4 +62,4 @@ def grid_sweep(
         del bound[name]
 
     recurse(0, {})
-    return rows
+    return parallel_map(compute, points, workers=workers, kwargs_items=True)

@@ -14,7 +14,7 @@ Two roles:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -142,7 +142,7 @@ def estimate_coverage_count_areas(
     step_length: float,
     periods: int,
     samples: int = 200_000,
-    rng: Optional[np.random.Generator] = None,
+    rng: Union[None, int, np.random.Generator] = None,
 ) -> Dict[int, float]:
     """Monte Carlo estimate of the ``Region(i)`` areas of the S-approach.
 
@@ -157,7 +157,10 @@ def estimate_coverage_count_areas(
         step_length: per-period travel distance ``V * t``.
         periods: number of sensing periods ``M``.
         samples: Monte Carlo sample count.
-        rng: optional numpy generator.
+        rng: optional numpy generator or integer seed.  Integer-seed calls
+            are deterministic and therefore memoized in the shared
+            :func:`repro.cache.analysis_cache` (keyed on every argument),
+            so repeated cross-checks in a sweep cost one estimate.
 
     Returns:
         Mapping ``i -> estimated area of Region(i)`` for ``i >= 1``.  Keys
@@ -170,8 +173,44 @@ def estimate_coverage_count_areas(
         raise GeometryError(f"step_length must be non-negative, got {step_length}")
     if periods < 1:
         raise GeometryError(f"periods must be >= 1, got {periods}")
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        from repro.cache import analysis_cache
+
+        key = (
+            "mc_areas",
+            float(sensing_range),
+            float(step_length),
+            int(periods),
+            int(samples),
+            int(rng),
+        )
+        seed = int(rng)
+        return dict(
+            analysis_cache().get_or_compute(
+                key,
+                lambda: _estimate_coverage_count_areas(
+                    sensing_range,
+                    step_length,
+                    periods,
+                    samples,
+                    np.random.default_rng(seed),
+                ),
+            )
+        )
     if rng is None:
         rng = np.random.default_rng()
+    return _estimate_coverage_count_areas(
+        sensing_range, step_length, periods, samples, rng
+    )
+
+
+def _estimate_coverage_count_areas(
+    sensing_range: float,
+    step_length: float,
+    periods: int,
+    samples: int,
+    rng: np.random.Generator,
+) -> Dict[int, float]:
 
     xmin = -sensing_range
     xmax = periods * step_length + sensing_range

@@ -1,0 +1,242 @@
+"""Process-pool execution for Monte Carlo runs and parameter sweeps.
+
+The paper's analytical headline (the M-S-approach) made the *model* cheap
+to evaluate; this module makes the *validation* side cheap too.  It fans
+Monte Carlo trial shards and sweep grid points out to worker processes:
+
+* :func:`run_simulator_parallel` splits a :class:`MonteCarloSimulator`'s
+  trials into per-worker shards, runs each shard in its own process, and
+  merges the per-trial arrays back into one
+  :class:`~repro.simulation.runner.SimulationResult`;
+* :func:`parallel_map` is the generic ordered map behind
+  ``sweep(..., workers=N)`` / ``grid_sweep(..., workers=N)``.
+
+Reproducibility contract
+------------------------
+
+Shard randomness comes from ``np.random.SeedSequence(seed).spawn(workers)``
+(:func:`spawn_seed_sequences`): worker ``i`` always receives the ``i``-th
+spawned child, so
+
+* the same ``(seed, workers)`` pair always produces the *identical*
+  :class:`SimulationResult` (bitwise, regardless of scheduling order);
+* different workers draw from statistically independent streams (the
+  SeedSequence spawn tree guarantee);
+* different ``workers`` counts give different — equally valid — trial
+  streams.  Only ``workers=1`` reproduces the legacy serial output
+  byte-for-byte, because the serial path seeds one generator directly.
+
+Everything shipped to a worker must be picklable.  The simulator strips
+its (possibly closure-carrying) ``progress`` callback before pickling and
+reports progress from the parent as shards complete; deployment and
+target callables, however, must be module-level functions or picklable
+objects — a helpful :class:`~repro.errors.SimulationError` is raised
+otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "available_workers",
+    "merge_simulation_results",
+    "parallel_map",
+    "run_simulator_parallel",
+    "spawn_seed_sequences",
+    "split_trials",
+]
+
+
+def available_workers() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _validate_workers(workers: int) -> int:
+    if not isinstance(workers, (int, np.integer)):
+        raise SimulationError(f"workers must be an integer, got {workers!r}")
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+def split_trials(trials: int, workers: int) -> List[int]:
+    """Near-even shard sizes: ``trials`` split across ``workers``.
+
+    The first ``trials % workers`` shards get one extra trial; every shard
+    is non-empty (workers beyond ``trials`` are dropped), and the split
+    depends only on ``(trials, workers)`` — part of the reproducibility
+    contract.
+    """
+    workers = _validate_workers(workers)
+    if trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+    workers = min(workers, trials)
+    base, extra = divmod(trials, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers)]
+
+
+def spawn_seed_sequences(
+    seed: Optional[int], workers: int
+) -> List[np.random.SeedSequence]:
+    """Independent per-worker seed sequences from one root seed.
+
+    ``SeedSequence(seed).spawn(workers)`` — deterministic for a given
+    ``(seed, workers)`` and statistically independent across workers.
+    With ``seed=None`` the root sequence draws OS entropy (irreproducible
+    by design, matching the serial path's behaviour).
+    """
+    workers = _validate_workers(workers)
+    return np.random.SeedSequence(seed).spawn(workers)
+
+
+def merge_simulation_results(results: Sequence[Any]):
+    """Concatenate per-shard :class:`SimulationResult`\\ s in shard order.
+
+    All shards must share one scenario and agree on whether latency and
+    per-period counts were tracked.
+    """
+    from repro.simulation.runner import SimulationResult
+
+    if not results:
+        raise SimulationError("no shard results to merge")
+    first = results[0]
+    for result in results[1:]:
+        if result.scenario != first.scenario:
+            raise SimulationError(
+                "cannot merge results from different scenarios"
+            )
+        if (result.detection_periods is None) != (
+            first.detection_periods is None
+        ) or (result.period_counts is None) != (first.period_counts is None):
+            raise SimulationError(
+                "cannot merge results with mismatched tracking options"
+            )
+    return SimulationResult(
+        scenario=first.scenario,
+        report_counts=np.concatenate([r.report_counts for r in results]),
+        node_counts=np.concatenate([r.node_counts for r in results]),
+        false_report_counts=np.concatenate(
+            [r.false_report_counts for r in results]
+        ),
+        detection_periods=(
+            None
+            if first.detection_periods is None
+            else np.concatenate([r.detection_periods for r in results])
+        ),
+        period_counts=(
+            None
+            if first.period_counts is None
+            else np.concatenate([r.period_counts for r in results])
+        ),
+    )
+
+
+def _run_shard(simulator, trials: int, seed_seq: np.random.SeedSequence):
+    """Worker entry point: run one shard with its own generator."""
+    return simulator._run_serial(trials, np.random.default_rng(seed_seq))
+
+
+def _wrap_pickling_error(exc: Exception) -> SimulationError:
+    return SimulationError(
+        "parallel execution requires every simulator component "
+        "(deployment, target, sensing ranges, ...) to be picklable; use "
+        "module-level functions or functools.partial instead of lambdas "
+        f"and local closures ({exc})"
+    )
+
+
+def run_simulator_parallel(simulator, workers: int):
+    """Run a :class:`MonteCarloSimulator`'s trials across worker processes.
+
+    Args:
+        simulator: the configured simulator (its ``trials``, ``seed`` and
+            all modelling options are honoured).
+        workers: process count; shards follow :func:`split_trials` and
+            seeds follow :func:`spawn_seed_sequences`.
+
+    Returns:
+        One merged :class:`SimulationResult` — shard order, hence output,
+        is deterministic for a given ``(seed, workers)``.
+    """
+    workers = _validate_workers(workers)
+    shards = split_trials(simulator._trials, workers)
+    seeds = spawn_seed_sequences(simulator._seed, len(shards))
+    progress = simulator._progress
+    total = simulator._trials
+    if len(shards) == 1:
+        result = _run_shard(simulator, shards[0], seeds[0])
+        if progress is not None:
+            progress(total, total)
+        return result
+    try:
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = {
+                pool.submit(_run_shard, simulator, shard, seed): index
+                for index, (shard, seed) in enumerate(zip(shards, seeds))
+            }
+            results: List[Any] = [None] * len(shards)
+            done_trials = 0
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures[future]
+                    results[index] = future.result()
+                    done_trials += shards[index]
+                    if progress is not None:
+                        progress(done_trials, total)
+    except SimulationError:
+        raise
+    except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
+        raise _wrap_pickling_error(exc) from exc
+    return merge_simulation_results(results)
+
+
+def _invoke(task) -> Any:
+    """Top-level trampoline so (fn, args, kwargs) tasks pickle cleanly."""
+    fn, args, kwargs = task
+    return fn(*args, **kwargs)
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    workers: int = 1,
+    kwargs_items: bool = False,
+) -> List[Any]:
+    """Ordered ``map(fn, items)`` over a process pool.
+
+    Args:
+        fn: a picklable callable (module-level function or partial).
+        items: the inputs; each is passed as ``fn(item)``, or as
+            ``fn(**item)`` when ``kwargs_items`` is true.
+        workers: ``1`` runs inline (no pool, no pickling requirement).
+        kwargs_items: treat each item as a keyword-argument dict.
+
+    Returns:
+        Results in input order.
+    """
+    workers = _validate_workers(workers)
+    if kwargs_items:
+        tasks = [(fn, (), dict(item)) for item in items]
+    else:
+        tasks = [(fn, (item,), {}) for item in items]
+    if workers == 1 or len(tasks) <= 1:
+        return [_invoke(task) for task in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            return list(pool.map(_invoke, tasks))
+    except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
+        raise _wrap_pickling_error(exc) from exc

@@ -18,6 +18,7 @@ Boundary modes (DESIGN.md §2):
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional, Tuple
 
@@ -32,6 +33,25 @@ from repro.simulation.targets import StraightLineTarget
 __all__ = ["MonteCarloSimulator", "SimulationResult"]
 
 _BOUNDARY_MODES = ("torus", "clip", "interior")
+
+
+def _deployment_is_batched(deployment) -> bool:
+    """Whether a deployment callable supports the batched calling convention.
+
+    A callable whose signature has a parameter named ``batch`` is called
+    once per vectorised block as ``deployment(field, num_sensors, rng,
+    batch)`` and must return ``(batch, num_sensors, 2)`` positions; any
+    other signature falls back to the legacy one-call-per-trial loop.
+    """
+    try:
+        signature = inspect.signature(deployment)
+    except (TypeError, ValueError):
+        return False
+    parameter = signature.parameters.get("batch")
+    return parameter is not None and parameter.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
 
 
 @dataclass(frozen=True)
@@ -162,10 +182,13 @@ class SimulationResult:
         :meth:`repro.core.latency.DetectionLatencyAnalysis.detection_cdf`.
         """
         periods = self._tracked_periods()
-        cdf = np.zeros(self.scenario.window + 1)
-        for p in range(1, self.scenario.window + 1):
-            cdf[p] = np.count_nonzero((periods > 0) & (periods <= p))
-        return cdf / self.trials
+        # One histogram + cumulative sum; index 0 holds the never-detected
+        # trials, which must not count toward any P[T <= p].
+        counts = np.bincount(
+            periods.astype(np.int64), minlength=self.scenario.window + 1
+        )
+        counts[0] = 0
+        return np.cumsum(counts[: self.scenario.window + 1]) / self.trials
 
     def mean_latency(self) -> float:
         """Mean periods to detection among detected trials.
@@ -236,7 +259,12 @@ class MonteCarloSimulator:
         deployment: placement strategy — a callable
             ``(field, num_sensors, rng) -> (N, 2) positions`` (e.g.
             :func:`repro.deployment.deploy_grid` via ``functools.partial``);
-            defaults to the paper's uniform random deployment.
+            defaults to the paper's uniform random deployment.  A callable
+            with a fourth parameter named ``batch`` is treated as
+            *batched*: it is invoked once per vectorised block as
+            ``(field, num_sensors, rng, batch)`` and must return
+            ``(batch, N, 2)`` positions — one RNG round-trip per block
+            instead of per trial.
         collect_period_counts: also record the ``(trials, M)`` per-period
             report counts, enabling sliding-window evaluation on the
             result (costs ``8 * trials * M`` bytes).
@@ -257,6 +285,14 @@ class MonteCarloSimulator:
             overrides the scenario's uniform range.
         progress: optional callback ``(completed_trials, total_trials)``
             invoked after every batch — for progress bars on long runs.
+            In parallel mode it is invoked from the parent process as each
+            worker's shard completes.
+        workers: default process count for :meth:`run`.  ``1`` (default)
+            is the legacy serial path, byte-identical to previous
+            releases for a given seed; ``N > 1`` shards the trials across
+            ``N`` processes with independent ``SeedSequence``-spawned
+            streams (see :mod:`repro.parallel` for the reproducibility
+            contract).
 
     Raises:
         SimulationError: on invalid configuration.
@@ -278,9 +314,13 @@ class MonteCarloSimulator:
         duty_cycle: float = 1.0,
         sensing_ranges: Optional[np.ndarray] = None,
         progress=None,
+        workers: int = 1,
     ):
         if trials < 1:
             raise SimulationError(f"trials must be >= 1, got {trials}")
+        if not isinstance(workers, (int, np.integer)) or workers < 1:
+            raise SimulationError(f"workers must be an integer >= 1, got {workers!r}")
+        self._workers = int(workers)
         if batch_size < 1:
             raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
         if boundary not in _BOUNDARY_MODES:
@@ -381,23 +421,50 @@ class MonteCarloSimulator:
                 )
         return np.concatenate(collected, axis=0)
 
-    def run(self) -> SimulationResult:
-        """Execute all trials and collect per-trial report statistics."""
+    def __getstate__(self) -> dict:
+        # Progress callbacks are often closures; they are parent-side state
+        # (parallel shards report progress from the parent), so drop them
+        # instead of failing the pickle.
+        state = self.__dict__.copy()
+        state["_progress"] = None
+        return state
+
+    def run(self, workers: Optional[int] = None) -> SimulationResult:
+        """Execute all trials and collect per-trial report statistics.
+
+        Args:
+            workers: overrides the constructor's ``workers``.  ``1`` runs
+                the legacy serial path (byte-identical for a given seed);
+                ``N > 1`` fans trial shards out to ``N`` processes via
+                :func:`repro.parallel.run_simulator_parallel`.
+        """
+        workers = self._workers if workers is None else workers
+        if not isinstance(workers, (int, np.integer)) or workers < 1:
+            raise SimulationError(f"workers must be an integer >= 1, got {workers!r}")
+        if workers > 1:
+            from repro.parallel import run_simulator_parallel
+
+            return run_simulator_parallel(self, int(workers))
+        return self._run_serial(self._trials, np.random.default_rng(self._seed))
+
+    def _run_serial(
+        self, trials: int, rng: np.random.Generator
+    ) -> SimulationResult:
+        """The serial trial loop over an explicit generator (one shard)."""
         scenario = self._scenario
-        rng = np.random.default_rng(self._seed)
-        report_counts = np.empty(self._trials, dtype=np.int64)
-        node_counts = np.empty(self._trials, dtype=np.int64)
-        false_counts = np.zeros(self._trials, dtype=np.int64)
-        detection_periods = np.zeros(self._trials, dtype=np.int64)
+        report_counts = np.empty(trials, dtype=np.int64)
+        node_counts = np.empty(trials, dtype=np.int64)
+        false_counts = np.zeros(trials, dtype=np.int64)
+        detection_periods = np.zeros(trials, dtype=np.int64)
         period_counts = (
-            np.zeros((self._trials, scenario.window), dtype=np.int64)
+            np.zeros((trials, scenario.window), dtype=np.int64)
             if self._collect_period_counts
             else None
         )
 
         done = 0
-        while done < self._trials:
-            batch = min(self._batch_size, self._trials - done)
+        while done < trials:
+            batch = min(self._batch_size, trials - done)
             sensors = self._deploy_batch(batch, rng)
             waypoints = self._sample_waypoints(batch, rng)
             coverage = segment_coverage(
@@ -442,7 +509,7 @@ class MonteCarloSimulator:
             detection_periods[done : done + batch] = first
             done += batch
             if self._progress is not None:
-                self._progress(done, self._trials)
+                self._progress(done, trials)
 
         return SimulationResult(
             scenario=scenario,
@@ -456,6 +523,13 @@ class MonteCarloSimulator:
     def _connected_mask(self, sensors: np.ndarray) -> np.ndarray:
         """Which sensors have a multi-hop route to the base station.
 
+        The whole batch is solved with a single ``connected_components``
+        call on one block-diagonal sparse graph (one ``(N + 1)``-node block
+        per trial, the base station appended as node ``N``), instead of the
+        former ``O(batch * N^2)`` Python loop of per-trial csgraph calls.
+        Adjacency is computed in bounded-size chunks so peak memory stays
+        flat regardless of ``batch_size``.
+
         Args:
             sensors: ``(B, N, 2)`` positions.
 
@@ -466,17 +540,38 @@ class MonteCarloSimulator:
         from scipy.sparse.csgraph import connected_components
 
         batch, count, _ = sensors.shape
+        nodes = count + 1
         base = np.asarray(self._base_station, dtype=float)
         range_sq = self._communication_range**2
-        mask = np.empty((batch, count), dtype=bool)
-        for b in range(batch):
-            points = np.vstack([sensors[b], base[None, :]])
-            deltas = points[:, None, :] - points[None, :, :]
-            adjacency = np.einsum("ijk,ijk->ij", deltas, deltas) <= range_sq
-            np.fill_diagonal(adjacency, False)
-            _, labels = connected_components(csr_matrix(adjacency), directed=False)
-            mask[b] = labels[:count] == labels[count]
-        return mask
+        points = np.concatenate(
+            [sensors, np.broadcast_to(base, (batch, 1, 2))], axis=1
+        )  # (B, N + 1, 2)
+
+        rows: list = []
+        cols: list = []
+        # ~8M pairwise entries per chunk keeps the dense distance block
+        # around 64 MB however large the trial batch is.
+        chunk = max(1, 8_000_000 // (nodes * nodes))
+        for start in range(0, batch, chunk):
+            block = points[start : start + chunk]
+            dx = block[..., 0][:, :, None] - block[..., 0][:, None, :]
+            dy = block[..., 1][:, :, None] - block[..., 1][:, None, :]
+            adjacent = dx * dx + dy * dy <= range_sq
+            trial, i, j = np.nonzero(adjacent)
+            offset = (start + trial) * nodes
+            rows.append(offset + i)
+            cols.append(offset + j)
+        row_idx = np.concatenate(rows)
+        col_idx = np.concatenate(cols)
+        size = batch * nodes
+        graph = csr_matrix(
+            (np.ones(row_idx.size, dtype=np.int8), (row_idx, col_idx)),
+            shape=(size, size),
+        )
+        # Self-loops (the diagonal) are harmless for connectivity.
+        _, labels = connected_components(graph, directed=False)
+        labels = labels.reshape(batch, nodes)
+        return labels[:, :count] == labels[:, count:]
 
     def _deploy_batch(self, batch: int, rng: np.random.Generator) -> np.ndarray:
         scenario = self._scenario
@@ -486,6 +581,20 @@ class MonteCarloSimulator:
                 (scenario.field.width, scenario.field.height),
                 size=(batch, scenario.num_sensors, 2),
             )
+        if _deployment_is_batched(self._deployment):
+            positions = np.asarray(
+                self._deployment(
+                    scenario.field, scenario.num_sensors, rng, batch
+                ),
+                dtype=float,
+            )
+            if positions.shape != (batch, scenario.num_sensors, 2):
+                raise SimulationError(
+                    f"batched deployment callable returned shape "
+                    f"{positions.shape}, expected "
+                    f"({batch}, {scenario.num_sensors}, 2)"
+                )
+            return positions
         deployments = []
         for _ in range(batch):
             positions = np.asarray(

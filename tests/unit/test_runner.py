@@ -157,6 +157,17 @@ class TestMonteCarloSimulator:
         result = MonteCarloSimulator(small, trials=500, seed=21).run()
         assert 1.0 <= result.mean_latency() <= small.window
 
+    def test_latency_cdf_matches_naive_loop(self, small):
+        result = MonteCarloSimulator(small, trials=500, seed=22).run()
+        periods = result.detection_periods
+        naive = np.array(
+            [
+                np.sum((periods > 0) & (periods <= m)) / result.trials
+                for m in range(small.window + 1)
+            ]
+        )
+        np.testing.assert_allclose(result.latency_cdf(), naive)
+
     def test_latency_untracked_raises(self, small):
         result = SimulationResult(
             scenario=small,
@@ -183,6 +194,45 @@ class TestMonteCarloSimulator:
         simulator = MonteCarloSimulator(
             small, trials=10, seed=1, deployment=lambda f, n, r: np.zeros((3, 2))
         )
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_batched_deployment_strategy(self, small):
+        import functools
+
+        from repro.deployment.strategies import deploy_grid_batched
+
+        result = MonteCarloSimulator(
+            small,
+            trials=200,
+            seed=6,
+            deployment=functools.partial(deploy_grid_batched, jitter=100.0),
+        ).run()
+        assert result.trials == 200
+
+    def test_batched_deployment_draws_one_block(self, small):
+        # A batched strategy sees one call per simulator batch, not one
+        # per trial.
+        calls = []
+
+        def deploy(field, num_sensors, rng, batch):
+            calls.append(batch)
+            return rng.uniform(
+                (0.0, 0.0),
+                (field.width, field.height),
+                size=(batch, num_sensors, 2),
+            )
+
+        MonteCarloSimulator(
+            small, trials=250, seed=7, batch_size=100, deployment=deploy
+        ).run()
+        assert calls == [100, 100, 50]
+
+    def test_bad_batched_deployment_shape_rejected(self, small):
+        def deploy(field, num_sensors, rng, batch):
+            return np.zeros((batch, 3, 2))
+
+        simulator = MonteCarloSimulator(small, trials=10, seed=1, deployment=deploy)
         with pytest.raises(SimulationError):
             simulator.run()
 

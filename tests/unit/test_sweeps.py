@@ -3,6 +3,14 @@
 from repro.experiments.sweeps import grid_sweep, sweep
 
 
+def _square(value):
+    return {"value": value, "square": value * value}
+
+
+def _pair(a, b):
+    return {"a": a, "b": b}
+
+
 class TestSweep:
     def test_applies_in_order(self):
         rows = sweep([1, 2, 3], lambda v: {"value": v, "square": v * v})
@@ -14,6 +22,10 @@ class TestSweep:
 
     def test_empty(self):
         assert sweep([], lambda v: {}) == []
+
+    def test_parallel_matches_serial(self):
+        values = list(range(6))
+        assert sweep(values, _square, workers=2) == sweep(values, _square)
 
 
 class TestGridSweep:
@@ -36,3 +48,7 @@ class TestGridSweep:
     def test_empty_grid_runs_once(self):
         rows = grid_sweep({}, lambda: {"ok": True})
         assert rows == [{"ok": True}]
+
+    def test_parallel_preserves_row_major_order(self):
+        grids = {"a": [1, 2], "b": ["x", "y"]}
+        assert grid_sweep(grids, _pair, workers=2) == grid_sweep(grids, _pair)
