@@ -1,0 +1,40 @@
+"""EXT-FAULTS — fault injection: degraded-mode analysis vs simulation.
+
+The paper's model assumes fault-free sensing and delivery.  Expected
+shape: the folded effective-``N``/effective-``Pd`` prediction tracks the
+fault-injected simulation closely for the exactly-folding faults
+(dropout, delivery loss), every non-Byzantine fault only lowers genuine
+detection, and a Byzantine flood saturates the unfiltered k-of-M rule.
+"""
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.figures import fault_injection_experiment
+
+
+def test_fault_injection(benchmark, emit_record):
+    record = benchmark.pedantic(
+        fault_injection_experiment,
+        kwargs={"trials": bench_trials(), "seed": bench_seed()},
+        rounds=1,
+        iterations=1,
+    )
+    emit_record(record)
+
+    rows = {row["regime"]: row for row in record.rows}
+    clean = rows["fault-free"]["simulation"]
+    tolerance = max(0.02, 3.0 / bench_trials() ** 0.5)
+    # Exactly-folding faults: prediction within Monte Carlo noise.
+    for regime in ("dropout 20%", "delivery loss 20%"):
+        assert rows[regime]["abs_error"] <= tolerance, rows[regime]
+    # Every non-Byzantine fault regime only hurts detection.
+    for regime, row in rows.items():
+        if regime in ("fault-free", "byzantine 10%"):
+            continue
+        assert row["simulation"] <= clean + tolerance, row
+    # The Byzantine flood saturates the unfiltered rule, and the spurious
+    # report volume matches its prediction.
+    byz = rows["byzantine 10%"]
+    assert byz["simulation"] >= 0.99
+    assert abs(byz["spurious_sim"] - byz["spurious_pred"]) <= max(
+        5.0, 0.05 * byz["spurious_pred"]
+    )

@@ -34,6 +34,7 @@ from repro.errors import (
     AnalysisError,
     DeploymentError,
     DistributionError,
+    FaultError,
     GeometryError,
     MarkovChainError,
     ReproError,
@@ -42,6 +43,11 @@ from repro.errors import (
     SimulationError,
 )
 from repro.experiments.presets import onr_scenario
+from repro.faults import (
+    FaultModel,
+    degraded_detection_probability,
+    degraded_scenario,
+)
 from repro.parallel import available_workers, parallel_map
 from repro.simulation import (
     MonteCarloSimulator,
@@ -59,6 +65,8 @@ __all__ = [
     "DetectionLatencyAnalysis",
     "DistributionError",
     "ExactSpatialAnalysis",
+    "FaultError",
+    "FaultModel",
     "GeometryError",
     "MarkovChainError",
     "MarkovSpatialAnalysis",
@@ -78,6 +86,8 @@ __all__ = [
     "analysis_cache",
     "available_workers",
     "clear_analysis_cache",
+    "degraded_detection_probability",
+    "degraded_scenario",
     "deploy_uniform",
     "detection_probability_single_period",
     "onr_scenario",

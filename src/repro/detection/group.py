@@ -12,14 +12,72 @@ at least ``h`` distinct nodes.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.detection.reports import DetectionReport
 from repro.detection.track_filter import SpeedGateTrackFilter
-from repro.errors import SimulationError
+from repro.errors import FaultError, SimulationError
 
-__all__ = ["GroupDetector"]
+__all__ = ["GroupDetector", "deliver_reports"]
+
+
+def deliver_reports(
+    stream: Iterable[Tuple[int, Iterable[DetectionReport]]],
+    faults,
+    rng: np.random.Generator,
+) -> Iterator[Tuple[int, List[DetectionReport]]]:
+    """Apply per-report delivery faults to a report stream.
+
+    The stream-level counterpart of the simulator's delivery fault path
+    (:meth:`repro.faults.FaultModel.apply_delivery`): each report is lost
+    with ``delivery_loss_prob``, and otherwise delayed by
+    ``delay_periods`` with probability ``delay_prob``.  Delayed reports
+    are re-stamped with their arrival period and emitted when the stream
+    reaches it; reports still in flight when the stream ends are lost —
+    the online analogue of falling beyond the decision window.
+
+    Feed the result straight into :meth:`GroupDetector.process_stream` to
+    evaluate the ``k``-of-``M`` rule on what the base station actually
+    receives.
+
+    Args:
+        stream: ``(period, reports)`` pairs in increasing period order
+            (periods with no reports included, as ``GroupDetector``
+            requires).
+        faults: a :class:`repro.faults.FaultModel` (only its delivery
+            fields are used — node faults act at sensing time).
+        rng: numpy generator (consumed only for active fault components).
+
+    Raises:
+        FaultError: if ``faults`` is not a :class:`FaultModel`.
+    """
+    from repro.faults import FaultModel
+
+    if not isinstance(faults, FaultModel):
+        raise FaultError(
+            f"faults must be a FaultModel, got {type(faults).__name__}"
+        )
+    in_flight: Dict[int, List[DetectionReport]] = {}
+    for period, reports in stream:
+        delivered = in_flight.pop(period, [])
+        for report in reports:
+            if (
+                faults.delivery_loss_prob > 0.0
+                and rng.random() < faults.delivery_loss_prob
+            ):
+                continue
+            if faults.delay_prob > 0.0 and rng.random() < faults.delay_prob:
+                arrival = period + faults.delay_periods
+                in_flight.setdefault(arrival, []).append(
+                    dataclasses.replace(report, period=arrival)
+                )
+            else:
+                delivered.append(report)
+        yield period, delivered
 
 
 class GroupDetector:

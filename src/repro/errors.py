@@ -32,6 +32,10 @@ class DeploymentError(ReproError, ValueError):
     """A sensor deployment request cannot be satisfied."""
 
 
+class FaultError(ReproError, ValueError):
+    """A fault-injection model was configured with invalid rates."""
+
+
 class SimulationError(ReproError, RuntimeError):
     """A Monte Carlo simulation was configured or executed incorrectly."""
 

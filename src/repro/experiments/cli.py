@@ -5,9 +5,14 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro fig9a --trials 2000 --seed 7
     repro fig8
     repro runtime
+    repro faults --trials 2000 --workers 4
     repro all --trials 1000 --json results/
 
-Exit code 0 on success.
+Each experiment is an argparse subcommand; the options shared by every
+experiment (``--trials``, ``--seed``, ``--workers``, ``--accuracy``,
+``--json``, ``--plot``) live on one parent parser, so they are declared
+once and accepted uniformly *after* the subcommand name.  Exit code 0 on
+success.
 """
 
 from __future__ import annotations
@@ -64,7 +69,9 @@ def _run_network(args: argparse.Namespace) -> ExperimentRecord:
 
 
 def _run_boundary(args: argparse.Namespace) -> ExperimentRecord:
-    return figures.boundary_ablation(trials=args.trials, seed=args.seed)
+    return figures.boundary_ablation(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
 
 
 def _run_truncation(args: argparse.Namespace) -> ExperimentRecord:
@@ -76,7 +83,9 @@ def _run_latency(args: argparse.Namespace) -> ExperimentRecord:
 
 
 def _run_deployment(args: argparse.Namespace) -> ExperimentRecord:
-    return figures.deployment_ablation(trials=args.trials, seed=args.seed)
+    return figures.deployment_ablation(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
 
 
 def _run_speed(args: argparse.Namespace) -> ExperimentRecord:
@@ -89,12 +98,25 @@ def _run_sliding(args: argparse.Namespace) -> ExperimentRecord:
 
 def _run_netloss(args: argparse.Namespace) -> ExperimentRecord:
     return figures.network_loss_experiment(
-        trials=min(args.trials, 5_000), seed=args.seed
+        trials=min(args.trials, 5_000),
+        seed=args.seed,
+        truncation=getattr(args, "truncation", 3),
+        workers=args.workers,
     )
 
 
 def _run_duty(args: argparse.Namespace) -> ExperimentRecord:
-    return figures.duty_cycle_experiment(trials=args.trials, seed=args.seed)
+    return figures.duty_cycle_experiment(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
+
+
+def _run_faults(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.fault_injection_experiment(
+        trials=min(args.trials, 5_000),
+        seed=args.seed,
+        workers=args.workers,
+    )
 
 
 def _run_tracking(args: argparse.Namespace) -> ExperimentRecord:
@@ -152,6 +174,7 @@ _EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], ExperimentRecord]] = {
     "sliding": _run_sliding,
     "netloss": _run_netloss,
     "duty": _run_duty,
+    "faults": _run_faults,
     "tracking": _run_tracking,
     "multi": _run_multi,
     "hetero": _run_hetero,
@@ -162,6 +185,77 @@ _EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], ExperimentRecord]] = {
     "bases": _run_bases,
 }
 
+_HELP: Dict[str, str] = {
+    "fig8": "required truncation values for the accuracy target (Fig. 8)",
+    "fig9a": "analysis vs simulation, straight-line target (Fig. 9a)",
+    "fig9b": "unnormalised analysis vs simulation (Fig. 9b)",
+    "fig9c": "straight-line analysis vs random-walk target (Fig. 9c)",
+    "runtime": "M-S vs S approach runtime comparison",
+    "multinode": "h-of-M multi-node rule (Section 4)",
+    "false-alarms": "false-alarm filtering table",
+    "network": "multi-hop connectivity / delivery analysis",
+    "boundary": "boundary-mode ablation (torus / clip / interior)",
+    "truncation": "M-S truncation error vs the exact oracle",
+    "latency": "detection latency analysis vs simulation",
+    "deployment": "deployment-strategy ablation",
+    "speed": "varying target speed",
+    "sliding": "sliding-window parameter study",
+    "netloss": "detection when disconnected sensors' reports are lost",
+    "duty": "duty-cycled sensing vs folded analysis",
+    "faults": "fault injection: degraded analysis vs simulation",
+    "tracking": "track estimation from detection reports",
+    "multi": "multiple simultaneous targets",
+    "hetero": "heterogeneous sensing ranges",
+    "sensitivity": "parameter sensitivity of the analysis",
+    "rule": "k-of-M rule design space",
+    "m1": "instantaneous (M=1) vs group detection",
+    "drift": "deployment drift over time",
+    "bases": "multi-base-station placement",
+    "all": "run every experiment",
+    "validate": "run the reproduction acceptance checks",
+}
+
+
+def _shared_options() -> argparse.ArgumentParser:
+    """The parent parser carrying options every subcommand accepts."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trials",
+        type=int,
+        default=10_000,
+        help="Monte Carlo trials per configuration (default: 10000, the paper's value)",
+    )
+    parent.add_argument(
+        "--seed", type=int, default=20080617, help="simulation seed (default: 20080617)"
+    )
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for Monte Carlo experiments (default: 1, "
+        "serial; >1 fans trial shards over a process pool with independent "
+        "SeedSequence streams)",
+    )
+    parent.add_argument(
+        "--accuracy",
+        type=float,
+        default=0.99,
+        help="analysis accuracy target for fig8/runtime (default: 0.99)",
+    )
+    parent.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write each record as JSON into this directory",
+    )
+    parent.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII chart after each table (where applicable)",
+    )
+    return parent
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
@@ -171,47 +265,22 @@ def build_parser() -> argparse.ArgumentParser:
         "'Performance Analysis of Group Based Detection for Sparse Sensor "
         "Networks' (ICDCS 2008).",
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "validate"],
-        help="which experiment to run ('all' runs every one; 'validate' "
-        "runs the reproduction acceptance checks)",
+    parent = _shared_options()
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="experiment",
+        help="which experiment to run",
     )
-    parser.add_argument(
-        "--trials",
-        type=int,
-        default=10_000,
-        help="Monte Carlo trials per configuration (default: 10000, the paper's value)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=20080617, help="simulation seed (default: 20080617)"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes for Monte Carlo experiments (default: 1, "
-        "serial; >1 fans trial shards over a process pool with independent "
-        "SeedSequence streams)",
-    )
-    parser.add_argument(
-        "--accuracy",
-        type=float,
-        default=0.99,
-        help="analysis accuracy target for fig8/runtime (default: 0.99)",
-    )
-    parser.add_argument(
-        "--json",
-        type=pathlib.Path,
-        default=None,
-        metavar="DIR",
-        help="also write each record as JSON into this directory",
-    )
-    parser.add_argument(
-        "--plot",
-        action="store_true",
-        help="render an ASCII chart after each table (where applicable)",
-    )
+    for name in sorted(_EXPERIMENTS) + ["all", "validate"]:
+        sub = subparsers.add_parser(name, parents=[parent], help=_HELP.get(name))
+        if name == "netloss":
+            sub.add_argument(
+                "--truncation",
+                type=int,
+                default=3,
+                help="M-S body truncation g for the analysis column (default: 3)",
+            )
     return parser
 
 

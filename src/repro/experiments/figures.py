@@ -59,6 +59,7 @@ __all__ = [
     "sliding_window_experiment",
     "network_loss_experiment",
     "duty_cycle_experiment",
+    "fault_injection_experiment",
     "tracking_experiment",
     "multi_target_experiment",
     "heterogeneous_experiment",
@@ -423,12 +424,18 @@ def boundary_ablation(
     speed: float = 10.0,
     trials: int = 10_000,
     seed: Optional[int] = 20080617,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """EXT-BND: how much the field boundary (ignored by the analysis) matters."""
     record = ExperimentRecord(
         experiment_id="EXT-BND",
         title="Boundary-mode ablation: torus vs clip vs interior",
-        parameters={"speed": speed, "trials": trials, "seed": seed},
+        parameters={
+            "speed": speed,
+            "trials": trials,
+            "seed": seed,
+            "workers": workers,
+        },
     )
     for count in node_counts:
         scenario = onr_scenario(num_sensors=count, speed=speed)
@@ -437,7 +444,7 @@ def boundary_ablation(
         for boundary in ("torus", "clip", "interior"):
             result = MonteCarloSimulator(
                 scenario, trials=trials, seed=seed, boundary=boundary
-            ).run()
+            ).run(workers=workers)
             row[boundary] = result.detection_probability
         record.add_row(**row)
     return record
@@ -518,6 +525,7 @@ def deployment_ablation(
     trials: int = 10_000,
     seed: Optional[int] = 20080617,
     grid_jitters: Sequence[float] = (0.0, 500.0, 2000.0),
+    workers: int = 1,
 ) -> ExperimentRecord:
     """EXT-DEPLOY: deployment-strategy sensitivity of the uniform model.
 
@@ -537,9 +545,12 @@ def deployment_ablation(
             "trials": trials,
             "seed": seed,
             "analysis_uniform": analysis,
+            "workers": workers,
         },
     )
-    uniform = MonteCarloSimulator(scenario, trials=trials, seed=seed).run()
+    uniform = MonteCarloSimulator(scenario, trials=trials, seed=seed).run(
+        workers=workers
+    )
     record.add_row(
         deployment="uniform",
         simulation=uniform.detection_probability,
@@ -549,7 +560,7 @@ def deployment_ablation(
         deploy = functools.partial(deploy_grid_batched, jitter=jitter)
         result = MonteCarloSimulator(
             scenario, trials=trials, seed=seed, deployment=deploy
-        ).run()
+        ).run(workers=workers)
         record.add_row(
             deployment=f"grid (jitter {jitter:g} m)",
             simulation=result.detection_probability,
@@ -660,6 +671,8 @@ def network_loss_experiment(
     speed: float = 10.0,
     trials: int = 5_000,
     seed: Optional[int] = 20080617,
+    truncation: int = 3,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """EXT-NETLOSS: detection when undeliverable reports are lost.
 
@@ -677,18 +690,24 @@ def network_loss_experiment(
             "speed": speed,
             "trials": trials,
             "seed": seed,
+            "truncation": truncation,
+            "workers": workers,
         },
     )
     for count in node_counts:
         scenario = onr_scenario(num_sensors=count, speed=speed)
-        analysis = MarkovSpatialAnalysis(scenario, 3).detection_probability()
-        ideal = MonteCarloSimulator(scenario, trials=trials, seed=seed).run()
+        analysis = MarkovSpatialAnalysis(
+            scenario, truncation
+        ).detection_probability()
+        ideal = MonteCarloSimulator(scenario, trials=trials, seed=seed).run(
+            workers=workers
+        )
         lossy = MonteCarloSimulator(
             scenario,
             trials=trials,
             seed=seed,
             communication_range=communication_range,
-        ).run()
+        ).run(workers=workers)
         record.add_row(
             num_sensors=count,
             analysis=analysis,
@@ -705,6 +724,7 @@ def duty_cycle_experiment(
     speed: float = 10.0,
     trials: int = 10_000,
     seed: Optional[int] = 20080617,
+    workers: int = 1,
 ) -> ExperimentRecord:
     """EXT-DUTY: random sleep scheduling, folded analysis vs explicit sim.
 
@@ -725,6 +745,7 @@ def duty_cycle_experiment(
             "speed": speed,
             "trials": trials,
             "seed": seed,
+            "workers": workers,
         },
     )
     for duty in duty_cycles:
@@ -732,13 +753,94 @@ def duty_cycle_experiment(
         analysis = MarkovSpatialAnalysis(effective, 3).detection_probability()
         result = MonteCarloSimulator(
             scenario, trials=trials, seed=seed, duty_cycle=duty
-        ).run()
+        ).run(workers=workers)
         record.add_row(
             duty_cycle=duty,
             lifetime_x=lifetime_multiplier(duty),
             analysis=analysis,
             simulation=result.detection_probability,
             abs_error=abs(analysis - result.detection_probability),
+        )
+    return record
+
+
+def fault_injection_experiment(
+    num_sensors: int = 240,
+    speed: float = 10.0,
+    trials: int = 5_000,
+    seed: Optional[int] = 20080617,
+    workers: int = 1,
+) -> ExperimentRecord:
+    """EXT-FAULTS: degraded-mode analysis vs fault-injected simulation.
+
+    The paper's model assumes every deployed sensor senses and delivers
+    faithfully for the whole episode.  This experiment injects each fault
+    family from :mod:`repro.faults` — permanent death, intermittent
+    dropout, stuck-silent and stuck-reporting (Byzantine) sensors, and
+    lossy/delayed delivery — and compares the simulator against the
+    folded effective-``N``/effective-``Pd`` prediction
+    (:func:`repro.faults.degraded_detection_probability`).  Dropout and
+    delivery loss fold exactly (errors at Monte Carlo noise); death and
+    stuck-silent folds are approximations whose gap this experiment
+    quantifies.
+
+    The Byzantine row reads differently: its ``analysis`` column is the
+    *genuine* detection capacity (stuck-reporting sensors excluded), while
+    the unfiltered k-of-``M`` rule counts their spurious reports too, so
+    ``simulation`` saturates toward 1 — the false-flood vulnerability that
+    motivates the Section 4 track filter.  ``spurious_pred`` vs
+    ``spurious_sim`` is the meaningful comparison there.
+    """
+    from repro.faults import (
+        FaultModel,
+        degraded_detection_probability,
+        expected_spurious_reports,
+    )
+
+    regimes = (
+        ("fault-free", FaultModel()),
+        ("dropout 20%", FaultModel(dropout_rate=0.2)),
+        ("stuck silent 20%", FaultModel(stuck_silent_frac=0.2)),
+        ("byzantine 10%", FaultModel(stuck_report_frac=0.1)),
+        ("death hazard 2%/period", FaultModel(death_rate=0.02)),
+        ("delivery loss 20%", FaultModel(delivery_loss_prob=0.2)),
+        ("delay 30% by 2 periods", FaultModel(delay_prob=0.3, delay_periods=2)),
+        (
+            "combined",
+            FaultModel(
+                death_rate=0.01,
+                dropout_rate=0.1,
+                stuck_silent_frac=0.05,
+                delivery_loss_prob=0.1,
+                delay_prob=0.1,
+                delay_periods=2,
+            ),
+        ),
+    )
+    scenario = onr_scenario(num_sensors=num_sensors, speed=speed)
+    record = ExperimentRecord(
+        experiment_id="EXT-FAULTS",
+        title="Fault injection: degraded-mode analysis vs simulation",
+        parameters={
+            "num_sensors": num_sensors,
+            "speed": speed,
+            "trials": trials,
+            "seed": seed,
+            "workers": workers,
+        },
+    )
+    for name, faults in regimes:
+        analysis = degraded_detection_probability(scenario, faults)
+        result = MonteCarloSimulator(
+            scenario, trials=trials, seed=seed, faults=faults
+        ).run(workers=workers)
+        record.add_row(
+            regime=name,
+            analysis=analysis,
+            simulation=result.detection_probability,
+            abs_error=abs(analysis - result.detection_probability),
+            spurious_pred=expected_spurious_reports(scenario, faults),
+            spurious_sim=float(result.false_report_counts.mean()),
         )
     return record
 

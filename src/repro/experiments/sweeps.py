@@ -6,21 +6,146 @@ parallel and serial sweeps return identical row lists whenever ``compute``
 is deterministic.  ``compute`` must then be picklable (a module-level
 function or :func:`functools.partial`) — lambdas and closures only work at
 ``workers=1``.
+
+Checkpoint/resume
+-----------------
+
+Long sweeps can pass ``checkpoint="path.json"``: every completed point's
+row is written (atomically — temp file plus :func:`os.replace`) as it
+finishes, keyed by its index in the sweep order.  Re-running the same
+sweep with the same checkpoint path skips the already-completed points
+and computes only the missing ones, so a killed sweep resumes where it
+stopped and still returns the exact row list the uninterrupted run would
+have produced.  The file carries a fingerprint of the sweep's points; a
+checkpoint from a *different* sweep raises
+:class:`~repro.errors.SimulationError` instead of silently mixing rows.
+Checkpoint rows round-trip through JSON, so ``compute`` must return
+JSON-serialisable rows (plain dicts of numbers/strings — which all the
+experiment computes do) for resume to be lossless.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.errors import SimulationError
 from repro.parallel import parallel_map
 
 __all__ = ["sweep", "grid_sweep"]
+
+_CHECKPOINT_VERSION = 1
+
+
+def _points_fingerprint(points: Sequence[Any]) -> str:
+    """Stable digest of the sweep's point list (order-sensitive)."""
+    payload = json.dumps(points, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _load_checkpoint(path: str, fingerprint: str) -> Dict[int, Any]:
+    """Read completed rows from ``path``; empty dict when absent."""
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SimulationError(
+            f"checkpoint file {path!r} is unreadable or corrupt: {exc}"
+        ) from exc
+    if state.get("version") != _CHECKPOINT_VERSION:
+        raise SimulationError(
+            f"checkpoint file {path!r} has unsupported version "
+            f"{state.get('version')!r}"
+        )
+    if state.get("fingerprint") != fingerprint:
+        raise SimulationError(
+            f"checkpoint file {path!r} was written by a different sweep "
+            "(point list mismatch); delete it or use a fresh path"
+        )
+    completed = state.get("completed", {})
+    return {int(index): row for index, row in completed.items()}
+
+
+def _write_checkpoint(
+    path: str, fingerprint: str, completed: Dict[int, Any]
+) -> None:
+    """Atomically persist the completed-row map."""
+    state = {
+        "version": _CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "completed": {str(index): row for index, row in completed.items()},
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(state, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _run_points(
+    points: List[Any],
+    compute: Callable[..., Dict[str, Any]],
+    workers: int,
+    kwargs_items: bool,
+    checkpoint: Optional[str],
+    timeout: Optional[float],
+    max_retries: int,
+) -> List[Dict[str, Any]]:
+    """Shared sweep engine: resume from checkpoint, compute the rest."""
+    if checkpoint is None:
+        return parallel_map(
+            compute,
+            points,
+            workers=workers,
+            kwargs_items=kwargs_items,
+            timeout=timeout,
+            max_retries=max_retries,
+        )
+    fingerprint = _points_fingerprint(points)
+    completed = _load_checkpoint(checkpoint, fingerprint)
+    missing = [index for index in range(len(points)) if index not in completed]
+    if missing:
+
+        def on_result(position: int, row: Any) -> None:
+            completed[missing[position]] = row
+            _write_checkpoint(checkpoint, fingerprint, completed)
+
+        rows = parallel_map(
+            compute,
+            [points[index] for index in missing],
+            workers=workers,
+            kwargs_items=kwargs_items,
+            timeout=timeout,
+            max_retries=max_retries,
+            on_result=on_result,
+        )
+        for position, index in enumerate(missing):
+            completed[index] = rows[position]
+        _write_checkpoint(checkpoint, fingerprint, completed)
+    return [completed[index] for index in range(len(points))]
 
 
 def sweep(
     values: Iterable[Any],
     compute: Callable[[Any], Dict[str, Any]],
     workers: int = 1,
+    checkpoint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> List[Dict[str, Any]]:
     """Apply ``compute`` to each value, returning one row dict per value.
 
@@ -28,14 +153,29 @@ def sweep(
         values: the sweep axis.
         compute: maps one value to a row dict.
         workers: process count; ``1`` (default) runs inline.
+        checkpoint: optional JSON path; completed rows persist there and a
+            rerun resumes from them (see the module docstring).
+        timeout: optional per-point wall-clock bound (pool mode).
+        max_retries: worker-crash retries per point before falling back.
     """
-    return parallel_map(compute, list(values), workers=workers)
+    return _run_points(
+        list(values),
+        compute,
+        workers=workers,
+        kwargs_items=False,
+        checkpoint=checkpoint,
+        timeout=timeout,
+        max_retries=max_retries,
+    )
 
 
 def grid_sweep(
     grids: Dict[str, Sequence[Any]],
     compute: Callable[..., Dict[str, Any]],
     workers: int = 1,
+    checkpoint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> List[Dict[str, Any]]:
     """Cartesian-product sweep.
 
@@ -44,6 +184,10 @@ def grid_sweep(
         compute: called once per grid point with those keyword arguments;
             returns a row dict.
         workers: process count; ``1`` (default) runs inline.
+        checkpoint: optional JSON path; completed rows persist there and a
+            rerun resumes from them (see the module docstring).
+        timeout: optional per-point wall-clock bound (pool mode).
+        max_retries: worker-crash retries per point before falling back.
 
     Returns:
         Rows in row-major (first key slowest) order.
@@ -62,4 +206,12 @@ def grid_sweep(
         del bound[name]
 
     recurse(0, {})
-    return parallel_map(compute, points, workers=workers, kwargs_items=True)
+    return _run_points(
+        points,
+        compute,
+        workers=workers,
+        kwargs_items=True,
+        checkpoint=checkpoint,
+        timeout=timeout,
+        max_retries=max_retries,
+    )

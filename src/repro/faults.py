@@ -1,0 +1,394 @@
+"""Fault injection for group based detection.
+
+The paper assumes every deployed sensor works for all ``M`` periods and
+every report reaches the base station (Section 4 argues connectivity and
+moves on).  Real sparse undersea deployments lose nodes and messages
+constantly — which is exactly why distributed sensor-failure detection is
+its own literature.  This module makes those failure modes first-class so
+the `k`-of-``M`` rule's graceful degradation can be *predicted* and
+*measured*:
+
+* :class:`FaultModel` — a composable, immutable description of node and
+  delivery faults, accepted by
+  :class:`~repro.simulation.runner.MonteCarloSimulator` (``faults=``) and
+  by the report-stream wrapper
+  :func:`repro.detection.group.deliver_reports`;
+* :func:`degraded_scenario` — the effective-``N`` / effective-``Pd``
+  fold: the scenario whose fault-free analysis approximates the faulty
+  deployment, so every analysis in :mod:`repro.core` (in particular
+  :class:`~repro.core.markov_spatial.MarkovSpatialAnalysis`) predicts the
+  degraded detection probability;
+* :func:`degraded_detection_probability` — the one-call prediction the
+  EXT-FAULTS experiment compares against simulation.
+
+Fault taxonomy
+--------------
+
+=====================  =======================================================
+``death_rate``         permanent node death: a live sensor dies at the start
+                       of each period with this hazard; once dead it never
+                       reports again (battery failure, flooding, loss).
+``dropout_rate``       intermittent dropout: each sensor independently misses
+                       each period with this probability (transient faults,
+                       clock skew, local interference).
+``stuck_silent_frac``  fraction of sensors that never report (stuck-at-silent
+                       transducer failure from deployment onward).
+``stuck_report_frac``  fraction of sensors that report *every* period
+                       regardless of coverage (stuck-at-reporting /
+                       Byzantine); their reports are spurious and are tallied
+                       into ``false_report_counts``.
+``delivery_loss_prob`` per-report delivery loss on the way to the base
+                       station (acoustic link loss, congestion).
+``delay_prob``         per-report probability of delayed delivery; a delayed
+                       report arrives ``delay_periods`` periods late and is
+                       lost if that falls beyond the decision window.
+=====================  =======================================================
+
+A zero-rate model (:meth:`FaultModel.is_null`) consumes **no** randomness
+and the simulator's output is byte-identical to the fault-free path — a
+golden-fingerprint regression test pins this.
+
+Degraded-mode fold
+------------------
+
+Stuck-silent sensors shrink the fleet: ``N_eff = N * (1 - q_silent -
+q_byzantine)`` (Byzantine sensors stop *sensing* too; their spurious
+reports are a false-alarm phenomenon, priced separately by
+:func:`expected_spurious_reports`).  Everything else folds into the
+per-period detection probability, exactly like the duty-cycle fold
+(:mod:`repro.core.duty_cycle`):
+
+``Pd_eff = Pd * (1 - dropout) * survival * (1 - loss) * (1 - delay_tail)``
+
+where ``survival`` is the window-averaged probability that a sensor has
+not yet died (``mean_j (1-h)^j``) and ``delay_tail = delay_prob *
+min(D, M) / M`` is the fraction of reports a fixed ``D``-period delay
+pushes past the window.  The dropout and delivery-loss folds are exact
+(i.i.d. per period / per report); the death and stuck-silent folds are
+approximations (failures are correlated across periods), which is what
+the EXT-FAULTS experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.scenario import Scenario
+from repro.errors import FaultError
+
+__all__ = [
+    "FaultModel",
+    "FaultMasks",
+    "degraded_scenario",
+    "degraded_detection_probability",
+    "expected_spurious_reports",
+]
+
+
+def _check_probability(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultMasks:
+    """Sampled per-batch fault state (see :meth:`FaultModel.sample_node_masks`).
+
+    Attributes:
+        alive: ``(B, N, M)`` boolean, ``False`` from the period a sensor
+            dies onward; ``None`` when ``death_rate == 0``.
+        available: ``(B, N, M)`` boolean — alive, not dropped out, and not
+            stuck (silent or reporting); ``None`` when no node fault is
+            active.  A sensor only senses (and only false-alarms) where
+            this is ``True``.
+        byzantine: ``(B, N)`` boolean marking stuck-reporting sensors;
+            ``None`` when ``stuck_report_frac == 0``.
+    """
+
+    alive: Optional[np.ndarray]
+    available: Optional[np.ndarray]
+    byzantine: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Immutable fault configuration (all rates default to zero = no fault).
+
+    Raises:
+        FaultError: if any rate is outside ``[0, 1]``, the stuck fractions
+            sum beyond 1, or ``delay_periods < 1``.
+    """
+
+    death_rate: float = 0.0
+    dropout_rate: float = 0.0
+    stuck_silent_frac: float = 0.0
+    stuck_report_frac: float = 0.0
+    delivery_loss_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_periods: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "death_rate",
+            "dropout_rate",
+            "stuck_silent_frac",
+            "stuck_report_frac",
+            "delivery_loss_prob",
+            "delay_prob",
+        ):
+            object.__setattr__(
+                self, name, _check_probability(name, getattr(self, name))
+            )
+        if self.stuck_silent_frac + self.stuck_report_frac > 1.0:
+            raise FaultError(
+                "stuck_silent_frac + stuck_report_frac must not exceed 1, got "
+                f"{self.stuck_silent_frac} + {self.stuck_report_frac}"
+            )
+        if not isinstance(self.delay_periods, (int, np.integer)):
+            raise FaultError(
+                f"delay_periods must be an integer, got {self.delay_periods!r}"
+            )
+        if self.delay_periods < 1:
+            raise FaultError(
+                f"delay_periods must be >= 1, got {self.delay_periods}"
+            )
+        object.__setattr__(self, "delay_periods", int(self.delay_periods))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        """Whether every fault rate is zero (the fault-free model)."""
+        return not (self.has_node_faults or self.has_delivery_faults)
+
+    @property
+    def has_node_faults(self) -> bool:
+        """Whether any sensor-side fault (death/dropout/stuck) is active."""
+        return (
+            self.death_rate > 0.0
+            or self.dropout_rate > 0.0
+            or self.stuck_silent_frac > 0.0
+            or self.stuck_report_frac > 0.0
+        )
+
+    @property
+    def has_delivery_faults(self) -> bool:
+        """Whether any report-side fault (loss/delay) is active."""
+        return self.delivery_loss_prob > 0.0 or self.delay_prob > 0.0
+
+    # ------------------------------------------------------------------
+    # Sampling (the simulator's hooks)
+    # ------------------------------------------------------------------
+
+    def sample_node_masks(
+        self, batch: int, num_sensors: int, window: int, rng: np.random.Generator
+    ) -> FaultMasks:
+        """Draw the per-trial node fault state for one vectorised batch.
+
+        Draw order is fixed (stuck roles, then death periods, then dropout)
+        and each component consumes randomness only when its rate is
+        positive, so e.g. a pure-death model's stream does not depend on
+        the dropout implementation.
+        """
+        silent = byzantine = None
+        stuck = self.stuck_silent_frac + self.stuck_report_frac
+        if stuck > 0.0:
+            # One uniform per sensor assigns both stuck roles disjointly.
+            role = rng.random((batch, num_sensors))
+            silent = role < self.stuck_silent_frac
+            byzantine = (role >= self.stuck_silent_frac) & (role < stuck)
+
+        alive = None
+        if self.death_rate > 0.0:
+            if self.death_rate >= 1.0:
+                death = np.ones((batch, num_sensors), dtype=np.int64)
+            else:
+                # Geometric "first failure" period: the sensor dies at the
+                # start of period `death`, so it works in periods < death
+                # and P(alive in period j) = (1 - h)^j.
+                death = rng.geometric(self.death_rate, size=(batch, num_sensors))
+            periods = np.arange(1, window + 1, dtype=np.int64)
+            alive = periods[None, None, :] < death[:, :, None]
+
+        available = alive
+        if self.dropout_rate > 0.0:
+            present = rng.random((batch, num_sensors, window)) >= self.dropout_rate
+            available = present if available is None else available & present
+        if silent is not None and silent.any():
+            stuck_mask = ~silent[:, :, None]
+            available = (
+                np.broadcast_to(stuck_mask, (batch, num_sensors, window)).copy()
+                if available is None
+                else available & stuck_mask
+            )
+        if byzantine is not None:
+            byz_mask = ~byzantine[:, :, None]
+            available = (
+                np.broadcast_to(byz_mask, (batch, num_sensors, window)).copy()
+                if available is None
+                else available & byz_mask
+            )
+        if byzantine is not None and not byzantine.any():
+            byzantine = None
+        return FaultMasks(alive=alive, available=available, byzantine=byzantine)
+
+    def apply_delivery(
+        self,
+        reports: np.ndarray,
+        spurious: Optional[np.ndarray],
+        rng: np.random.Generator,
+    ) -> Tuple[
+        np.ndarray,
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+    ]:
+        """Apply per-report delivery loss and delay to a report tensor.
+
+        Args:
+            reports: boolean ``(B, N, M)`` — all reports emitted toward the
+                base station (genuine, Byzantine, and false-alarm).
+            spurious: boolean subset of ``reports`` to keep tallying as
+                false reports, or ``None``.
+            rng: generator (consumed only for active fault components).
+
+        Returns:
+            ``(on_time, late, spurious_on_time, spurious_late)``:
+            ``on_time`` replaces ``reports``; ``late`` holds delayed
+            reports shifted to their arrival period (``None`` when
+            ``delay_prob == 0``) — delayed reports shifted beyond the
+            window are lost, exactly like the stream-level wrapper in
+            :func:`repro.detection.group.deliver_reports`.
+        """
+        if self.delivery_loss_prob > 0.0:
+            lost = rng.random(reports.shape) < self.delivery_loss_prob
+            reports = reports & ~lost
+            if spurious is not None:
+                spurious = spurious & ~lost
+        late = spurious_late = None
+        if self.delay_prob > 0.0:
+            delayed = reports & (rng.random(reports.shape) < self.delay_prob)
+            on_time = reports & ~delayed
+            window = reports.shape[2]
+            late = np.zeros_like(reports)
+            if self.delay_periods < window:
+                late[:, :, self.delay_periods :] = delayed[
+                    :, :, : window - self.delay_periods
+                ]
+            if spurious is not None:
+                spurious_delayed = spurious & delayed
+                spurious_late = np.zeros_like(spurious)
+                if self.delay_periods < window:
+                    spurious_late[:, :, self.delay_periods :] = spurious_delayed[
+                        :, :, : window - self.delay_periods
+                    ]
+                spurious = spurious & ~delayed
+            reports = on_time
+        return reports, late, spurious, spurious_late
+
+    # ------------------------------------------------------------------
+    # Degraded-mode folding factors
+    # ------------------------------------------------------------------
+
+    def mean_alive_fraction(self, window: int) -> float:
+        """Window-averaged survival ``mean_{j=1..M} (1 - h)^j``.
+
+        The fraction of (sensor, period) sensing opportunities a
+        per-period death hazard ``h`` leaves intact.
+        """
+        if window < 1:
+            raise FaultError(f"window must be >= 1, got {window}")
+        h = self.death_rate
+        if h == 0.0:
+            return 1.0
+        if h >= 1.0:
+            return 0.0
+        survive = 1.0 - h
+        return survive * (1.0 - survive**window) / (window * h)
+
+    def delivered_fraction(self, window: int) -> float:
+        """Fraction of emitted reports that arrive within the window."""
+        if window < 1:
+            raise FaultError(f"window must be >= 1, got {window}")
+        delay_tail = self.delay_prob * min(self.delay_periods, window) / window
+        return (1.0 - self.delivery_loss_prob) * (1.0 - delay_tail)
+
+
+def degraded_scenario(scenario: Scenario, faults: FaultModel) -> Scenario:
+    """The effective fault-free scenario of a faulty deployment.
+
+    Stuck sensors (silent and Byzantine) shrink ``N``; death, dropout,
+    and delivery faults scale ``Pd`` (see the module docstring for which
+    folds are exact and which approximate).
+
+    Raises:
+        FaultError: when the fault model suppresses every report
+            (``Pd_eff = 0`` or no functional sensor remains), where a
+            degraded analysis is undefined — the detection probability is
+            plainly zero.
+    """
+    if not isinstance(faults, FaultModel):
+        raise FaultError(f"faults must be a FaultModel, got {type(faults).__name__}")
+    working = 1.0 - faults.stuck_silent_frac - faults.stuck_report_frac
+    num_sensors = int(round(scenario.num_sensors * working))
+    detect_prob = (
+        scenario.detect_prob
+        * (1.0 - faults.dropout_rate)
+        * faults.mean_alive_fraction(scenario.window)
+        * faults.delivered_fraction(scenario.window)
+    )
+    if num_sensors < 1 or detect_prob <= 0.0:
+        raise FaultError(
+            "the fault model suppresses every report (no functional sensor "
+            "or Pd_eff = 0); the degraded detection probability is 0"
+        )
+    return scenario.replace(num_sensors=num_sensors, detect_prob=detect_prob)
+
+
+def degraded_detection_probability(
+    scenario: Scenario,
+    faults: FaultModel,
+    body_truncation: int = 3,
+    head_truncation: Optional[int] = None,
+) -> float:
+    """Predicted ``P_M[X >= k]`` under faults (M-S analysis of the fold).
+
+    The analytical side of the EXT-FAULTS degradation curves: runs
+    :class:`~repro.core.markov_spatial.MarkovSpatialAnalysis` on
+    :func:`degraded_scenario`.  Returns 0.0 for fault models that
+    suppress every report.
+    """
+    from repro.core.markov_spatial import MarkovSpatialAnalysis
+
+    try:
+        effective = degraded_scenario(scenario, faults)
+    except FaultError:
+        return 0.0
+    return MarkovSpatialAnalysis(
+        effective, body_truncation=body_truncation, head_truncation=head_truncation
+    ).detection_probability()
+
+
+def expected_spurious_reports(scenario: Scenario, faults: FaultModel) -> float:
+    """Expected per-window spurious reports from stuck-reporting sensors.
+
+    ``N * q_byz * M * survival * delivered`` — the false-alarm pressure a
+    Byzantine population puts on the ``k``-of-``M`` rule (compare with
+    :mod:`repro.core.false_alarms` for pricing thresholds against it).
+    """
+    if not isinstance(faults, FaultModel):
+        raise FaultError(f"faults must be a FaultModel, got {type(faults).__name__}")
+    return (
+        scenario.num_sensors
+        * faults.stuck_report_frac
+        * scenario.window
+        * faults.mean_alive_fraction(scenario.window)
+        * faults.delivered_fraction(scenario.window)
+    )

@@ -32,13 +32,35 @@ reports progress from the parent as shards complete; deployment and
 target callables, however, must be module-level functions or picklable
 objects — a helpful :class:`~repro.errors.SimulationError` is raised
 otherwise.
+
+Crash resilience
+----------------
+
+Long sweeps must survive their own infrastructure.  Both executors run on
+a shared resilient engine:
+
+* a worker process dying mid-shard (OOM kill, segfault, ``os._exit``)
+  surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`; the
+  engine rebuilds the pool and resubmits every unfinished task, up to
+  ``max_retries`` times.  Because shard ``i`` always re-runs with the same
+  ``SeedSequence`` child, **a retried shard produces the exact result the
+  crashed attempt would have** — crash recovery never changes the output;
+* ``timeout`` bounds each task's wall-clock seconds; an overdue pool is
+  abandoned (workers terminated best-effort) and the overdue tasks are
+  retried.  A task that times out on every attempt raises
+  :class:`~repro.errors.SimulationError` — it would hang serially too;
+* once crash retries are exhausted, the engine falls back to running the
+  remaining tasks serially in the parent process, so a flaky pool
+  degrades throughput instead of discarding completed work.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
@@ -157,7 +179,140 @@ def _wrap_pickling_error(exc: Exception) -> SimulationError:
     )
 
 
-def run_simulator_parallel(simulator, workers: int):
+class _PoolRestart(Exception):
+    """Internal control flow: abandon the current pool and resubmit."""
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting on possibly-hung workers.
+
+    ``shutdown(wait=True)`` would join workers that may never return; the
+    best-effort ``terminate`` ensures an overdue worker cannot wedge the
+    parent (or the interpreter's exit handler).
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown never raises in CPython
+        pass
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead worker
+            pass
+
+
+def _validate_resilience(timeout: Optional[float], max_retries: int) -> None:
+    if timeout is not None and timeout <= 0:
+        raise SimulationError(f"timeout must be positive or None, got {timeout}")
+    if not isinstance(max_retries, (int, np.integer)) or max_retries < 0:
+        raise SimulationError(
+            f"max_retries must be an integer >= 0, got {max_retries!r}"
+        )
+
+
+def _execute_resilient(
+    fn: Callable[..., Any],
+    tasks: Sequence[tuple],
+    workers: int,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
+    """Run ``fn(*task)`` for every task over a process pool, surviving crashes.
+
+    The engine behind :func:`run_simulator_parallel` and
+    :func:`parallel_map` (see the module docstring's resilience contract).
+    ``on_result(index, result)`` fires in completion order as tasks finish
+    — checkpoint writers and progress callbacks hang off it.
+
+    Returns:
+        Results in task order.
+    """
+    results: List[Any] = [None] * len(tasks)
+    pending = set(range(len(tasks)))
+    attempts = [0] * len(tasks)
+    while pending:
+        if any(attempts[index] > max_retries for index in pending):
+            # Crash retries exhausted: finish the remaining work serially
+            # in the parent rather than discarding completed shards.
+            for index in sorted(pending):
+                results[index] = fn(*tasks[index])
+                if on_result is not None:
+                    on_result(index, results[index])
+            pending.clear()
+            break
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        abandon = False
+        try:
+            futures = {
+                pool.submit(fn, *tasks[index]): index
+                for index in sorted(pending)
+            }
+            deadlines = {
+                future: (time.monotonic() + timeout)
+                if timeout is not None
+                else None
+                for future in futures
+            }
+            unfinished = set(futures)
+            while unfinished:
+                wait_for = None
+                if timeout is not None:
+                    wait_for = max(
+                        0.0,
+                        min(deadlines[f] for f in unfinished) - time.monotonic(),
+                    )
+                finished, unfinished = wait(
+                    unfinished, timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index = futures[future]
+                    results[index] = future.result()
+                    pending.discard(index)
+                    if on_result is not None:
+                        on_result(index, results[index])
+                if timeout is not None and unfinished:
+                    now = time.monotonic()
+                    overdue = [f for f in unfinished if deadlines[f] <= now]
+                    if overdue:
+                        for future in overdue:
+                            index = futures[future]
+                            attempts[index] += 1
+                            if attempts[index] > max_retries:
+                                raise SimulationError(
+                                    f"task {index} exceeded its {timeout} s "
+                                    f"timeout on {attempts[index]} attempts; "
+                                    "giving up (it would hang serially too)"
+                                )
+                        raise _PoolRestart
+        except _PoolRestart:
+            # Overdue tasks re-enter `pending`; only here may workers be
+            # genuinely hung, so the pool is torn down without joining.
+            abandon = True
+        except BrokenProcessPool:
+            # A worker died; we cannot tell whose task killed it, so every
+            # unfinished task gets one attempt charged.  Determinism makes
+            # the retry exact: same seed material, same result.
+            for index in pending:
+                attempts[index] += 1
+        finally:
+            if abandon:
+                _abandon_pool(pool)
+            else:
+                # Plain join: workers here are healthy, finished, or
+                # already reaped by the executor (cancel_futures would
+                # race the feeder thread's pickling-error path).
+                pool.shutdown(wait=True)
+    return results
+
+
+def run_simulator_parallel(
+    simulator,
+    workers: int,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+):
     """Run a :class:`MonteCarloSimulator`'s trials across worker processes.
 
     Args:
@@ -165,12 +320,18 @@ def run_simulator_parallel(simulator, workers: int):
             all modelling options are honoured).
         workers: process count; shards follow :func:`split_trials` and
             seeds follow :func:`spawn_seed_sequences`.
+        timeout: optional per-shard wall-clock bound in seconds; an
+            overdue shard's pool is abandoned and the shard retried.
+        max_retries: pool rebuilds allowed per shard before the serial
+            fallback (crashes) or a raised error (timeouts).
 
     Returns:
         One merged :class:`SimulationResult` — shard order, hence output,
-        is deterministic for a given ``(seed, workers)``.
+        is deterministic for a given ``(seed, workers)``, and worker
+        crashes never change it (retries replay the same seeds).
     """
     workers = _validate_workers(workers)
+    _validate_resilience(timeout, max_retries)
     shards = split_trials(simulator._trials, workers)
     seeds = spawn_seed_sequences(simulator._seed, len(shards))
     progress = simulator._progress
@@ -180,23 +341,26 @@ def run_simulator_parallel(simulator, workers: int):
         if progress is not None:
             progress(total, total)
         return result
+    on_result = None
+    if progress is not None:
+        done_trials = [0]
+
+        def on_result(index: int, _result: Any) -> None:
+            done_trials[0] += shards[index]
+            progress(done_trials[0], total)
+
+    tasks = [
+        (simulator, shard, seed) for shard, seed in zip(shards, seeds)
+    ]
     try:
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            futures = {
-                pool.submit(_run_shard, simulator, shard, seed): index
-                for index, (shard, seed) in enumerate(zip(shards, seeds))
-            }
-            results: List[Any] = [None] * len(shards)
-            done_trials = 0
-            pending = set(futures)
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = futures[future]
-                    results[index] = future.result()
-                    done_trials += shards[index]
-                    if progress is not None:
-                        progress(done_trials, total)
+        results = _execute_resilient(
+            _run_shard,
+            tasks,
+            workers=len(shards),
+            timeout=timeout,
+            max_retries=max_retries,
+            on_result=on_result,
+        )
     except SimulationError:
         raise
     except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
@@ -215,6 +379,9 @@ def parallel_map(
     items: Sequence[Any],
     workers: int = 1,
     kwargs_items: bool = False,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Ordered ``map(fn, items)`` over a process pool.
 
@@ -224,19 +391,41 @@ def parallel_map(
             ``fn(**item)`` when ``kwargs_items`` is true.
         workers: ``1`` runs inline (no pool, no pickling requirement).
         kwargs_items: treat each item as a keyword-argument dict.
+        timeout: optional per-item wall-clock bound in seconds (pool mode;
+            the inline path runs items unbounded, as plain calls would).
+        max_retries: pool rebuilds allowed per item before the serial
+            fallback (crashes) or a raised error (timeouts).
+        on_result: optional ``(index, result)`` callback fired as each
+            item completes (input order when inline, completion order on
+            the pool) — the hook checkpointed sweeps persist through.
 
     Returns:
         Results in input order.
     """
     workers = _validate_workers(workers)
+    _validate_resilience(timeout, max_retries)
     if kwargs_items:
         tasks = [(fn, (), dict(item)) for item in items]
     else:
         tasks = [(fn, (item,), {}) for item in items]
     if workers == 1 or len(tasks) <= 1:
-        return [_invoke(task) for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            result = _invoke(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            return list(pool.map(_invoke, tasks))
+        return _execute_resilient(
+            _invoke,
+            [(task,) for task in tasks],
+            workers=min(workers, len(tasks)),
+            timeout=timeout,
+            max_retries=max_retries,
+            on_result=on_result,
+        )
+    except SimulationError:
+        raise
     except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
         raise _wrap_pickling_error(exc) from exc

@@ -26,7 +26,12 @@ import numpy as np
 
 from repro.core.scenario import Scenario
 from repro.errors import SimulationError
-from repro.simulation.sensing import sample_detections, segment_coverage
+from repro.faults import FaultModel
+from repro.simulation.sensing import (
+    apply_availability,
+    sample_detections,
+    segment_coverage,
+)
 from repro.simulation.stats import standard_error, wilson_interval
 from repro.simulation.targets import StraightLineTarget
 
@@ -283,6 +288,14 @@ class MonteCarloSimulator:
             heterogeneous fleets (see
             :class:`repro.core.heterogeneous.HeterogeneousExactAnalysis`);
             overrides the scenario's uniform range.
+        faults: optional :class:`repro.faults.FaultModel` injecting node
+            faults (permanent death, intermittent dropout, stuck-silent
+            and stuck-reporting sensors) and report-delivery faults
+            (per-report loss, delayed delivery).  ``None`` — or a model
+            with every rate zero, which consumes no randomness — is
+            byte-identical to the fault-free path.  Stuck-reporting
+            (Byzantine) sensors' reports count toward ``report_counts``
+            and are tallied in ``false_report_counts``.
         progress: optional callback ``(completed_trials, total_trials)``
             invoked after every batch — for progress bars on long runs.
             In parallel mode it is invoked from the parent process as each
@@ -313,6 +326,7 @@ class MonteCarloSimulator:
         base_station: Optional[Tuple[float, float]] = None,
         duty_cycle: float = 1.0,
         sensing_ranges: Optional[np.ndarray] = None,
+        faults: Optional[FaultModel] = None,
         progress=None,
         workers: int = 1,
     ):
@@ -359,6 +373,13 @@ class MonteCarloSimulator:
             if (sensing_ranges <= 0).any():
                 raise SimulationError("sensing_ranges must be positive")
         self._sensing_ranges = sensing_ranges
+        if faults is not None and not isinstance(faults, FaultModel):
+            raise SimulationError(
+                f"faults must be a FaultModel or None, got {type(faults).__name__}"
+            )
+        # A zero-rate model draws no randomness anywhere, so treating it
+        # as "no faults" keeps the fault-free path literally unchanged.
+        self._faults = None if faults is None or faults.is_null else faults
         if progress is not None and not callable(progress):
             raise SimulationError("progress must be callable or None")
         self._progress = progress
@@ -379,6 +400,11 @@ class MonteCarloSimulator:
     def boundary(self) -> str:
         """The active boundary mode."""
         return self._boundary
+
+    @property
+    def faults(self) -> Optional[FaultModel]:
+        """The active fault model (``None`` covers zero-rate models too)."""
+        return self._faults
 
     def _sample_waypoints(
         self, batch: int, rng: np.random.Generator
@@ -479,12 +505,32 @@ class MonteCarloSimulator:
             awake = None
             if self._duty_cycle < 1.0:
                 awake = rng.random(coverage.shape) < self._duty_cycle
-                coverage = coverage & awake
+                coverage = apply_availability(coverage, awake)
+            masks = None
+            if self._faults is not None and self._faults.has_node_faults:
+                masks = self._faults.sample_node_masks(
+                    batch, scenario.num_sensors, scenario.window, rng
+                )
+                if masks.available is not None:
+                    coverage = apply_availability(coverage, masks.available)
             detected = sample_detections(coverage, scenario.detect_prob, rng)
             reachable = None
             if self._communication_range is not None:
                 reachable = self._connected_mask(sensors)
                 detected &= reachable[:, :, None]
+            spurious = None
+            if masks is not None and masks.byzantine is not None:
+                # Stuck-reporting sensors transmit every period they are
+                # alive (and routed); all their reports are spurious.
+                byz_reports = np.broadcast_to(
+                    masks.byzantine[:, :, None], detected.shape
+                ).copy()
+                if masks.alive is not None:
+                    byz_reports &= masks.alive
+                if reachable is not None:
+                    byz_reports &= reachable[:, :, None]
+                detected |= byz_reports
+                spurious = byz_reports
             if self._false_alarm_prob > 0.0:
                 false_hits = rng.random(detected.shape) < self._false_alarm_prob
                 false_hits &= ~detected
@@ -494,12 +540,37 @@ class MonteCarloSimulator:
                 if awake is not None:
                     # Sleeping sensors cannot false alarm.
                     false_hits &= awake
-                false_counts[done : done + batch] = false_hits.sum(axis=(1, 2))
+                if masks is not None and masks.available is not None:
+                    # Neither can dead, dropped-out, or stuck sensors.
+                    false_hits &= masks.available
                 detected |= false_hits
-            report_counts[done : done + batch] = detected.sum(axis=(1, 2))
-            node_counts[done : done + batch] = detected.any(axis=2).sum(axis=1)
-            # First period at which the running report total reaches k.
+                spurious = (
+                    false_hits if spurious is None else spurious | false_hits
+                )
+            late = spurious_late = None
+            if self._faults is not None and self._faults.has_delivery_faults:
+                detected, late, spurious, spurious_late = (
+                    self._faults.apply_delivery(detected, spurious, rng)
+                )
             per_period = detected.sum(axis=1)
+            delivered_any = detected
+            if late is not None:
+                # Delayed reports land in later periods; both an on-time
+                # and a late report can arrive in the same (sensor, period).
+                per_period = per_period + late.sum(axis=1)
+                delivered_any = detected | late
+            if spurious is not None:
+                total_spurious = spurious.sum(axis=(1, 2))
+                if spurious_late is not None:
+                    total_spurious = total_spurious + spurious_late.sum(
+                        axis=(1, 2)
+                    )
+                false_counts[done : done + batch] = total_spurious
+            report_counts[done : done + batch] = per_period.sum(axis=1)
+            node_counts[done : done + batch] = (
+                delivered_any.any(axis=2).sum(axis=1)
+            )
+            # First period at which the running report total reaches k.
             if period_counts is not None:
                 period_counts[done : done + batch] = per_period
             cumulative = np.cumsum(per_period, axis=1)

@@ -20,7 +20,38 @@ import numpy as np
 from repro.deployment.field import SensorField
 from repro.errors import SimulationError
 
-__all__ = ["segment_coverage", "sample_detections"]
+__all__ = ["segment_coverage", "sample_detections", "apply_availability"]
+
+
+def apply_availability(
+    coverage: np.ndarray, availability: np.ndarray
+) -> np.ndarray:
+    """Mask coverage by per-(trial, sensor, period) availability.
+
+    A sensor that is asleep, dead, dropped out, or stuck cannot sense the
+    target even when it is in range; this applies a duty-cycle or
+    fault-model availability mask (see :mod:`repro.faults`) to the
+    coverage tensor.
+
+    Args:
+        coverage: boolean ``(B, N, M)`` from :func:`segment_coverage`.
+        availability: boolean array of the same shape; ``True`` where the
+            sensor is functional that period.
+
+    Returns:
+        ``coverage & availability`` (a new array).
+
+    Raises:
+        SimulationError: on a shape mismatch.
+    """
+    coverage = np.asarray(coverage, dtype=bool)
+    availability = np.asarray(availability, dtype=bool)
+    if availability.shape != coverage.shape:
+        raise SimulationError(
+            f"availability shape {availability.shape} does not match "
+            f"coverage shape {coverage.shape}"
+        )
+    return coverage & availability
 
 
 def segment_coverage(

@@ -1,0 +1,175 @@
+"""Integration tests for crash-resilient execution and checkpointed sweeps.
+
+The two acceptance properties of the robustness work:
+
+* a worker process crashing mid-run is retried deterministically, so the
+  merged :class:`SimulationResult` is bitwise identical to an
+  uninterrupted run with the same seed;
+* a checkpointed grid sweep killed partway and resumed reproduces the
+  uninterrupted run's rows exactly.
+"""
+
+import functools
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.figures import fault_injection_experiment
+from repro.experiments.sweeps import grid_sweep
+from repro.parallel import parallel_map
+from repro.simulation.runner import MonteCarloSimulator, SimulationResult
+
+
+def fingerprint(result: SimulationResult) -> str:
+    digest = hashlib.sha256()
+    for array in (
+        result.report_counts,
+        result.node_counts,
+        result.false_report_counts,
+        result.detection_periods,
+    ):
+        if array is not None:
+            digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _crashing_uniform(field, count, rng, batch, crash_file):
+    """Batched uniform deployment that kills its worker exactly once.
+
+    Draws the same stream as the simulator's built-in default deployment,
+    so a retried run must match a default-deployment run bitwise.
+    """
+    if not os.path.exists(crash_file):
+        with open(crash_file, "w"):
+            pass
+        os._exit(1)
+    return rng.uniform(
+        (0.0, 0.0), (field.width, field.height), size=(batch, count, 2)
+    )
+
+
+def _crash_once(value, crash_file):
+    if not os.path.exists(crash_file):
+        with open(crash_file, "w"):
+            pass
+        os._exit(1)
+    return {"value": value, "square": value * value}
+
+
+class TestCrashRecovery:
+    def test_crashed_shard_retries_to_identical_result(self, small, tmp_path):
+        """Acceptance: forced mid-run worker crash changes nothing."""
+        crash_file = str(tmp_path / "crashed")
+        uninterrupted = MonteCarloSimulator(small, trials=80, seed=77).run(
+            workers=2
+        )
+        crashing = MonteCarloSimulator(
+            small,
+            trials=80,
+            seed=77,
+            deployment=functools.partial(
+                _crashing_uniform, crash_file=crash_file
+            ),
+        ).run(workers=2)
+        assert os.path.exists(crash_file)  # the crash really happened
+        assert fingerprint(crashing) == fingerprint(uninterrupted)
+
+    def test_parallel_map_retries_crashed_items(self, tmp_path):
+        crash_file = str(tmp_path / "crashed")
+        rows = parallel_map(
+            functools.partial(_crash_once, crash_file=crash_file),
+            [1, 2, 3],
+            workers=2,
+        )
+        assert os.path.exists(crash_file)
+        assert rows == [
+            {"value": 1, "square": 1},
+            {"value": 2, "square": 4},
+            {"value": 3, "square": 9},
+        ]
+
+    def test_timeout_exhaustion_raises(self):
+        import time as time_module
+
+        with pytest.raises(SimulationError, match="timeout"):
+            parallel_map(
+                time_module.sleep,
+                [30.0, 30.0],
+                workers=2,
+                timeout=1.0,
+                max_retries=0,
+            )
+
+
+class TestCheckpointResume:
+    def test_killed_grid_sweep_resumes_to_identical_rows(self, tmp_path):
+        """Acceptance: kill a checkpointed sweep, rerun, rows identical."""
+        checkpoint = tmp_path / "grid.json"
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.experiments.sweeps import grid_sweep
+
+            def compute(a, b):
+                if a == 2 and b == 20:
+                    os._exit(1)  # the "power cut"
+                return {"a": a, "b": b, "product": a * b}
+
+            grid_sweep(
+                {"a": [1, 2], "b": [10, 20]},
+                compute,
+                checkpoint=sys.argv[1],
+            )
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(checkpoint)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1, proc.stderr  # really died mid-sweep
+        state = json.loads(checkpoint.read_text())
+        completed = len(state["completed"])
+        assert 0 < completed < 4  # partial progress survived the kill
+
+        def compute(a, b):
+            return {"a": a, "b": b, "product": a * b}
+
+        resumed = grid_sweep(
+            {"a": [1, 2], "b": [10, 20]}, compute, checkpoint=str(checkpoint)
+        )
+        uninterrupted = grid_sweep({"a": [1, 2], "b": [10, 20]}, compute)
+        assert resumed == uninterrupted
+
+
+class TestFaultExperimentSmoke:
+    def test_ext_faults_runs_small(self):
+        record = fault_injection_experiment(
+            num_sensors=60, trials=150, seed=13
+        )
+        assert record.experiment_id == "EXT-FAULTS"
+        regimes = [row["regime"] for row in record.rows]
+        assert "fault-free" in regimes and "combined" in regimes
+        by_regime = {row["regime"]: row for row in record.rows}
+        # The unfiltered rule saturates under a Byzantine flood.
+        assert by_regime["byzantine 10%"]["simulation"] == 1.0
+        assert by_regime["byzantine 10%"]["spurious_sim"] > 0
+        # Faults only ever hurt genuine detection.
+        clean = by_regime["fault-free"]["simulation"]
+        assert by_regime["combined"]["simulation"] <= clean
+        for row in record.rows:
+            assert 0.0 <= row["analysis"] <= 1.0
+            assert 0.0 <= row["simulation"] <= 1.0

@@ -1,0 +1,325 @@
+"""Unit tests for repro.faults: fault models, masks, degraded analysis."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.detection.group import GroupDetector, deliver_reports
+from repro.detection.reports import DetectionReport
+from repro.errors import FaultError, ReproError, SimulationError
+from repro.experiments.presets import small_scenario
+from repro.faults import (
+    FaultModel,
+    degraded_detection_probability,
+    degraded_scenario,
+    expected_spurious_reports,
+)
+from repro.simulation.runner import MonteCarloSimulator, SimulationResult
+
+#: The seed repo's golden fingerprint for small_scenario(), trials=500,
+#: seed=123 (pinned by tests/unit/test_parallel.py) — the zero-rate fault
+#: model must reproduce it bitwise.
+GOLDEN_FINGERPRINT = (
+    "8556e11ded8b057a444091c8e3f719a09474659083c4fb32dd8a92f5e4bf6678"
+)
+
+
+def fingerprint(result: SimulationResult) -> str:
+    digest = hashlib.sha256()
+    for array in (
+        result.report_counts,
+        result.node_counts,
+        result.false_report_counts,
+        result.detection_periods,
+    ):
+        if array is not None:
+            digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+class TestFaultModelValidation:
+    def test_defaults_are_null(self):
+        model = FaultModel()
+        assert model.is_null
+        assert not model.has_node_faults
+        assert not model.has_delivery_faults
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"death_rate": -0.1},
+            {"death_rate": 1.5},
+            {"dropout_rate": 2.0},
+            {"stuck_silent_frac": -1e-9},
+            {"stuck_report_frac": 1.01},
+            {"delivery_loss_prob": -0.5},
+            {"delay_prob": 1.0001},
+        ],
+    )
+    def test_out_of_range_rates_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            FaultModel(**kwargs)
+
+    def test_stuck_fractions_must_fit_in_population(self):
+        with pytest.raises(FaultError):
+            FaultModel(stuck_silent_frac=0.7, stuck_report_frac=0.4)
+
+    def test_delay_periods_validated(self):
+        with pytest.raises(FaultError):
+            FaultModel(delay_periods=0)
+        with pytest.raises(FaultError):
+            FaultModel(delay_periods=1.5)
+
+    def test_fault_error_is_repro_and_value_error(self):
+        assert issubclass(FaultError, ReproError)
+        assert issubclass(FaultError, ValueError)
+
+    def test_component_flags(self):
+        assert FaultModel(dropout_rate=0.1).has_node_faults
+        assert FaultModel(delivery_loss_prob=0.1).has_delivery_faults
+        assert not FaultModel(delivery_loss_prob=0.1).has_node_faults
+
+
+class TestNodeMasks:
+    def test_total_death_kills_everything(self):
+        masks = FaultModel(death_rate=1.0).sample_node_masks(
+            3, 5, 4, np.random.default_rng(0)
+        )
+        assert not masks.alive.any()
+        assert not masks.available.any()
+
+    def test_zero_hazard_never_dies(self):
+        masks = FaultModel(dropout_rate=0.5).sample_node_masks(
+            3, 5, 4, np.random.default_rng(0)
+        )
+        assert masks.alive is None  # no death component drawn
+
+    def test_alive_is_a_prefix_property(self):
+        # Once dead, a sensor stays dead: alive masks are non-increasing
+        # along the period axis.
+        masks = FaultModel(death_rate=0.3).sample_node_masks(
+            16, 8, 10, np.random.default_rng(7)
+        )
+        alive = masks.alive.astype(int)
+        assert (np.diff(alive, axis=2) <= 0).all()
+
+    def test_stuck_roles_are_disjoint(self):
+        model = FaultModel(stuck_silent_frac=0.5, stuck_report_frac=0.5)
+        masks = model.sample_node_masks(4, 100, 3, np.random.default_rng(1))
+        # Every sensor is stuck one way or the other; none genuine.
+        assert not masks.available.any()
+        assert masks.byzantine is not None
+
+    def test_all_byzantine(self):
+        model = FaultModel(stuck_report_frac=1.0)
+        masks = model.sample_node_masks(2, 10, 3, np.random.default_rng(2))
+        assert masks.byzantine.all()
+        assert not masks.available.any()
+
+    def test_full_dropout_blocks_availability(self):
+        masks = FaultModel(dropout_rate=1.0).sample_node_masks(
+            2, 6, 5, np.random.default_rng(3)
+        )
+        assert not masks.available.any()
+
+
+class TestDelivery:
+    def test_total_loss_drops_everything(self):
+        model = FaultModel(delivery_loss_prob=1.0)
+        reports = np.ones((2, 3, 4), dtype=bool)
+        on_time, late, *_ = model.apply_delivery(
+            reports, None, np.random.default_rng(0)
+        )
+        assert not on_time.any()
+        assert late is None or not late.any()
+
+    def test_total_delay_shifts_by_delay_periods(self):
+        model = FaultModel(delay_prob=1.0, delay_periods=2)
+        reports = np.zeros((1, 1, 5), dtype=bool)
+        reports[0, 0, 0] = True
+        on_time, late, *_ = model.apply_delivery(
+            reports, None, np.random.default_rng(0)
+        )
+        assert not on_time.any()
+        assert late[0, 0, 2]
+        assert late.sum() == 1
+
+    def test_delay_past_window_is_lost(self):
+        model = FaultModel(delay_prob=1.0, delay_periods=10)
+        reports = np.ones((1, 2, 4), dtype=bool)
+        on_time, late, *_ = model.apply_delivery(
+            reports, None, np.random.default_rng(0)
+        )
+        assert not on_time.any()
+        assert late is None or not late.any()
+
+
+class TestDegradedAnalysis:
+    def test_null_model_is_identity(self, small):
+        assert degraded_scenario(small, FaultModel()) == small
+
+    def test_dropout_folds_into_detect_prob(self, small):
+        folded = degraded_scenario(small, FaultModel(dropout_rate=0.25))
+        assert folded.detect_prob == pytest.approx(small.detect_prob * 0.75)
+        assert folded.num_sensors == small.num_sensors
+
+    def test_stuck_silent_folds_into_node_count(self, small):
+        folded = degraded_scenario(small, FaultModel(stuck_silent_frac=0.5))
+        assert folded.num_sensors == round(small.num_sensors * 0.5)
+
+    def test_fully_suppressed_raises(self, small):
+        with pytest.raises(FaultError):
+            degraded_scenario(small, FaultModel(stuck_silent_frac=1.0))
+
+    def test_degraded_probability_bounded_by_fault_free(self, small):
+        base = degraded_detection_probability(small, FaultModel())
+        hit = degraded_detection_probability(
+            small, FaultModel(dropout_rate=0.4, delivery_loss_prob=0.2)
+        )
+        assert 0.0 < hit < base <= 1.0
+
+    def test_fully_suppressed_probability_is_zero(self, small):
+        assert (
+            degraded_detection_probability(small, FaultModel(death_rate=1.0))
+            == 0.0
+        )
+
+    def test_expected_spurious_reports(self, small):
+        model = FaultModel(stuck_report_frac=0.5)
+        expected = expected_spurious_reports(small, model)
+        assert expected == pytest.approx(
+            small.num_sensors * 0.5 * small.window
+        )
+        assert expected_spurious_reports(small, FaultModel()) == 0.0
+
+
+class TestSimulatorIntegration:
+    def test_zero_rate_model_is_bitwise_identical(self):
+        result = MonteCarloSimulator(
+            small_scenario(), trials=500, seed=123, faults=FaultModel()
+        ).run()
+        assert fingerprint(result) == GOLDEN_FINGERPRINT
+        assert int(result.detections) == 154
+
+    def test_faults_must_be_a_fault_model(self, small):
+        with pytest.raises(SimulationError):
+            MonteCarloSimulator(small, trials=10, faults={"death_rate": 0.5})
+
+    def test_total_death_produces_no_reports(self, small):
+        result = MonteCarloSimulator(
+            small, trials=50, seed=9, faults=FaultModel(death_rate=1.0)
+        ).run()
+        assert result.report_counts.sum() == 0
+        assert result.detections == 0
+
+    def test_all_byzantine_floods_reports(self, small):
+        result = MonteCarloSimulator(
+            small, trials=50, seed=9, faults=FaultModel(stuck_report_frac=1.0)
+        ).run()
+        # Every sensor reports every period; all reports are spurious.
+        expected = small.num_sensors * small.window
+        assert (result.report_counts == expected).all()
+        assert (result.false_report_counts == expected).all()
+        assert result.detection_probability == 1.0
+
+    def test_dropout_matches_folded_analysis(self, small):
+        model = FaultModel(dropout_rate=0.3)
+        result = MonteCarloSimulator(
+            small, trials=3_000, seed=11, faults=model
+        ).run()
+        predicted = degraded_detection_probability(small, model)
+        assert result.detection_probability == pytest.approx(
+            predicted, abs=0.04
+        )
+
+    def test_delivery_loss_fingerprint_differs_from_fault_free(self, small):
+        clean = MonteCarloSimulator(small, trials=200, seed=5).run()
+        lossy = MonteCarloSimulator(
+            small,
+            trials=200,
+            seed=5,
+            faults=FaultModel(delivery_loss_prob=0.5),
+        ).run()
+        assert (lossy.report_counts <= clean.report_counts).all()
+        assert lossy.report_counts.sum() < clean.report_counts.sum()
+
+    def test_faults_compose_with_parallel_workers(self, small):
+        model = FaultModel(dropout_rate=0.2, delivery_loss_prob=0.1)
+        serial = MonteCarloSimulator(
+            small, trials=100, seed=21, faults=model
+        ).run(workers=1)
+        sharded = MonteCarloSimulator(
+            small, trials=100, seed=21, faults=model
+        ).run(workers=2)
+        assert serial.trials == sharded.trials == 100
+        # Different trial streams but the same model: rates must be close.
+        assert abs(
+            serial.detection_probability - sharded.detection_probability
+        ) < 0.25
+
+
+def _report(node_id: int, period: int) -> DetectionReport:
+    return DetectionReport(
+        node_id=node_id, period=period, position=(0.0, 0.0)
+    )
+
+
+class TestDeliverReports:
+    def test_requires_fault_model(self):
+        with pytest.raises(FaultError):
+            list(deliver_reports([], {"loss": 1.0}, np.random.default_rng(0)))
+
+    def test_null_model_passes_through(self):
+        stream = [(1, [_report(0, 1)]), (2, []), (3, [_report(1, 3)])]
+        delivered = list(
+            deliver_reports(stream, FaultModel(), np.random.default_rng(0))
+        )
+        assert delivered == [(1, [_report(0, 1)]), (2, []), (3, [_report(1, 3)])]
+
+    def test_total_loss_drops_all(self):
+        stream = [(1, [_report(0, 1), _report(1, 1)]), (2, [_report(2, 2)])]
+        delivered = list(
+            deliver_reports(
+                stream,
+                FaultModel(delivery_loss_prob=1.0),
+                np.random.default_rng(0),
+            )
+        )
+        assert delivered == [(1, []), (2, [])]
+
+    def test_delay_restamps_and_arrives_later(self):
+        stream = [(1, [_report(0, 1)]), (2, []), (3, [])]
+        delivered = list(
+            deliver_reports(
+                stream,
+                FaultModel(delay_prob=1.0, delay_periods=2),
+                np.random.default_rng(0),
+            )
+        )
+        assert delivered[0] == (1, [])
+        assert delivered[1] == (2, [])
+        assert delivered[2] == (3, [_report(0, 3)])
+
+    def test_in_flight_past_stream_end_is_lost(self):
+        stream = [(1, [_report(0, 1)])]
+        delivered = list(
+            deliver_reports(
+                stream,
+                FaultModel(delay_prob=1.0, delay_periods=5),
+                np.random.default_rng(0),
+            )
+        )
+        assert delivered == [(1, [])]
+
+    def test_feeds_group_detector(self):
+        detector = GroupDetector(window=3, threshold=2)
+        stream = [
+            (1, [_report(0, 1)]),
+            (2, [_report(1, 2)]),
+            (3, []),
+        ]
+        fired = detector.process_stream(
+            deliver_reports(stream, FaultModel(), np.random.default_rng(0))
+        )
+        assert fired

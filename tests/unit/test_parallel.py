@@ -99,6 +99,12 @@ class TestMergeSimulationResults:
         with pytest.raises(SimulationError):
             merge_simulation_results([])
 
+    def test_single_shard_is_identity(self, small):
+        result = MonteCarloSimulator(small, trials=40, seed=2).run()
+        merged = merge_simulation_results([result])
+        assert merged.trials == result.trials
+        assert fingerprint(merged) == fingerprint(result)
+
     def test_rejects_scenario_mismatch(self, small, tiny):
         a = SimulationResult(
             scenario=small,

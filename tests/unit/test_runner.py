@@ -353,6 +353,33 @@ class TestCommunicationLoss:
         ).run()
         assert result.false_report_counts.sum() == 0
 
+    def test_generous_range_is_bitwise_identical(self, small):
+        # The connectivity mask draws no randomness, so a range that
+        # connects everyone must leave every per-trial array untouched.
+        ideal = MonteCarloSimulator(small, trials=150, seed=55).run()
+        connected = MonteCarloSimulator(
+            small, trials=150, seed=55, communication_range=100_000.0
+        ).run()
+        for name in ("report_counts", "node_counts", "false_report_counts"):
+            np.testing.assert_array_equal(
+                getattr(ideal, name), getattr(connected, name)
+            )
+
+    def test_byzantine_flood_silenced_by_unreachable_base(self, small):
+        # Stuck-reporting sensors still need a route: delivery loss via
+        # the communication range applies to spurious reports too.
+        from repro.faults import FaultModel
+
+        result = MonteCarloSimulator(
+            small,
+            trials=100,
+            seed=56,
+            communication_range=1.0,
+            faults=FaultModel(stuck_report_frac=1.0),
+        ).run()
+        assert result.report_counts.sum() == 0
+        assert result.false_report_counts.sum() == 0
+
 
 class TestProgressCallback:
     def test_progress_reports_every_batch(self, small):

@@ -1,5 +1,10 @@
 """Unit tests for repro.experiments.sweeps."""
 
+import json
+
+import pytest
+
+from repro.errors import SimulationError
 from repro.experiments.sweeps import grid_sweep, sweep
 
 
@@ -52,3 +57,68 @@ class TestGridSweep:
     def test_parallel_preserves_row_major_order(self):
         grids = {"a": [1, 2], "b": ["x", "y"]}
         assert grid_sweep(grids, _pair, workers=2) == grid_sweep(grids, _pair)
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_and_rows_unchanged(self, tmp_path):
+        path = tmp_path / "ck.json"
+        rows = sweep([1, 2, 3], _square, checkpoint=str(path))
+        assert rows == sweep([1, 2, 3], _square)
+        state = json.loads(path.read_text())
+        assert state["version"] == 1
+        assert len(state["completed"]) == 3
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        path = tmp_path / "ck.json"
+        calls = []
+
+        def compute(value):
+            calls.append(value)
+            return {"value": value}
+
+        sweep([1, 2, 3], compute, checkpoint=str(path))
+        assert calls == [1, 2, 3]
+        rows = sweep([1, 2, 3], compute, checkpoint=str(path))
+        assert calls == [1, 2, 3]  # nothing recomputed
+        assert rows == [{"value": 1}, {"value": 2}, {"value": 3}]
+
+    def test_partial_checkpoint_computes_only_missing(self, tmp_path):
+        path = tmp_path / "ck.json"
+        calls = []
+
+        def compute(value):
+            calls.append(value)
+            return {"value": value}
+
+        sweep([1, 2, 3], compute, checkpoint=str(path))
+        state = json.loads(path.read_text())
+        del state["completed"]["1"]
+        path.write_text(json.dumps(state))
+        rows = sweep([1, 2, 3], compute, checkpoint=str(path))
+        assert calls == [1, 2, 3, 2]
+        assert rows == [{"value": 1}, {"value": 2}, {"value": 3}]
+
+    def test_mismatched_sweep_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        sweep([1, 2], _square, checkpoint=str(path))
+        with pytest.raises(SimulationError):
+            sweep([3, 4], _square, checkpoint=str(path))
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(SimulationError):
+            sweep([1], _square, checkpoint=str(path))
+
+    def test_grid_sweep_checkpoint_resume(self, tmp_path):
+        path = tmp_path / "grid.json"
+        grids = {"a": [1, 2], "b": [10, 20]}
+        first = grid_sweep(grids, _pair, checkpoint=str(path))
+        resumed = grid_sweep(grids, _pair, checkpoint=str(path))
+        assert first == resumed == grid_sweep(grids, _pair)
+
+    def test_checkpoint_with_workers(self, tmp_path):
+        path = tmp_path / "ck.json"
+        rows = sweep(list(range(5)), _square, workers=2, checkpoint=str(path))
+        assert rows == sweep(list(range(5)), _square)
+        assert len(json.loads(path.read_text())["completed"]) == 5
