@@ -10,9 +10,12 @@ Regenerates any of the paper's tables/figures from the terminal::
 
 Each experiment is an argparse subcommand; the options shared by every
 experiment (``--trials``, ``--seed``, ``--workers``, ``--accuracy``,
-``--json``, ``--plot``) live on one parent parser, so they are declared
-once and accepted uniformly *after* the subcommand name.  Exit code 0 on
-success.
+``--json``, ``--plot``) live on one parent parser attached to both the
+top-level parser and every subcommand, so they are declared once and
+accepted either before or after the experiment name (``repro --trials
+2000 fig9a`` and ``repro fig9a --trials 2000`` are equivalent; an option
+given in both places resolves to the post-subcommand value).  Exit code
+0 on success.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments import figures
 from repro.experiments.plotting import plot_record
@@ -216,22 +219,37 @@ _HELP: Dict[str, str] = {
 }
 
 
-def _shared_options() -> argparse.ArgumentParser:
-    """The parent parser carrying options every subcommand accepts."""
+def _shared_options(suppress_defaults: bool = False) -> argparse.ArgumentParser:
+    """A parent parser carrying the options every subcommand accepts.
+
+    Attached twice: to the top-level parser with real defaults, and to
+    each subcommand with ``SUPPRESS`` defaults.  A subcommand parse copies
+    its whole namespace over the top-level one, so the subcommand copy
+    must only set attributes for options actually given after the
+    subcommand name — otherwise ``repro --trials 2000 fig9a`` would have
+    its 2000 silently clobbered by the subcommand's default.
+    """
+
+    def default(value: Any) -> Any:
+        return argparse.SUPPRESS if suppress_defaults else value
+
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--trials",
         type=int,
-        default=10_000,
+        default=default(10_000),
         help="Monte Carlo trials per configuration (default: 10000, the paper's value)",
     )
     parent.add_argument(
-        "--seed", type=int, default=20080617, help="simulation seed (default: 20080617)"
+        "--seed",
+        type=int,
+        default=default(20080617),
+        help="simulation seed (default: 20080617)",
     )
     parent.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=default(1),
         help="worker processes for Monte Carlo experiments (default: 1, "
         "serial; >1 fans trial shards over a process pool with independent "
         "SeedSequence streams)",
@@ -239,19 +257,20 @@ def _shared_options() -> argparse.ArgumentParser:
     parent.add_argument(
         "--accuracy",
         type=float,
-        default=0.99,
+        default=default(0.99),
         help="analysis accuracy target for fig8/runtime (default: 0.99)",
     )
     parent.add_argument(
         "--json",
         type=pathlib.Path,
-        default=None,
+        default=default(None),
         metavar="DIR",
         help="also write each record as JSON into this directory",
     )
     parent.add_argument(
         "--plot",
         action="store_true",
+        default=default(False),
         help="render an ASCII chart after each table (where applicable)",
     )
     return parent
@@ -264,8 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the tables and figures of Zhang et al., "
         "'Performance Analysis of Group Based Detection for Sparse Sensor "
         "Networks' (ICDCS 2008).",
+        parents=[_shared_options()],
     )
-    parent = _shared_options()
+    parent = _shared_options(suppress_defaults=True)
     subparsers = parser.add_subparsers(
         dest="experiment",
         required=True,

@@ -21,7 +21,10 @@ checkpoint from a *different* sweep raises
 :class:`~repro.errors.SimulationError` instead of silently mixing rows.
 Checkpoint rows round-trip through JSON, so ``compute`` must return
 JSON-serialisable rows (plain dicts of numbers/strings — which all the
-experiment computes do) for resume to be lossless.
+experiment computes do) for resume to be lossless.  Numpy scalars and
+arrays, which simulator-derived rows naturally contain, are coerced to
+plain Python numbers/lists on write — equal in value, though a resumed
+row holds ``float`` where the fresh row held ``np.float64``.
 """
 
 from __future__ import annotations
@@ -32,12 +35,26 @@ import os
 import tempfile
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.parallel import parallel_map
 
 __all__ = ["sweep", "grid_sweep"]
 
 _CHECKPOINT_VERSION = 1
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars/arrays so simulator-derived rows serialise."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        "checkpoint rows must be JSON-serialisable (plain dicts of "
+        f"numbers/strings), got {type(value).__name__}: {value!r}"
+    )
 
 
 def _points_fingerprint(points: Sequence[Any]) -> str:
@@ -86,7 +103,7 @@ def _write_checkpoint(
     )
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(state, handle)
+            json.dump(state, handle, default=_json_default)
         os.replace(tmp_path, path)
     except BaseException:
         try:

@@ -45,10 +45,14 @@ a shared resilient engine:
   ``max_retries`` times.  Because shard ``i`` always re-runs with the same
   ``SeedSequence`` child, **a retried shard produces the exact result the
   crashed attempt would have** — crash recovery never changes the output;
-* ``timeout`` bounds each task's wall-clock seconds; an overdue pool is
-  abandoned (workers terminated best-effort) and the overdue tasks are
-  retried.  A task that times out on every attempt raises
-  :class:`~repro.errors.SimulationError` — it would hang serially too;
+* ``timeout`` bounds each task's *running* wall-clock seconds — at most
+  ``workers`` tasks are in flight at once and each clock starts when the
+  task is handed to a free worker, so queue wait behind other tasks never
+  counts against it.  An overdue pool is abandoned (workers terminated
+  best-effort, never joined) and the overdue tasks are retried.  A task
+  that times out on every attempt raises
+  :class:`~repro.errors.SimulationError` after the pool is abandoned —
+  it would hang serially too;
 * once crash retries are exhausted, the engine falls back to running the
   remaining tasks serially in the parent process, so a flaky pool
   degrades throughput instead of discarding completed work.
@@ -242,50 +246,70 @@ def _execute_resilient(
                     on_result(index, results[index])
             pending.clear()
             break
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        pool_size = min(workers, len(pending))
+        pool = ProcessPoolExecutor(max_workers=pool_size)
         abandon = False
         try:
-            futures = {
-                pool.submit(fn, *tasks[index]): index
-                for index in sorted(pending)
-            }
-            deadlines = {
-                future: (time.monotonic() + timeout)
-                if timeout is not None
-                else None
-                for future in futures
-            }
-            unfinished = set(futures)
-            while unfinished:
+            queue = sorted(pending)
+            next_pos = 0
+            futures: dict = {}
+            deadlines: dict = {}
+
+            def submit_up_to_capacity() -> None:
+                # At most `pool_size` tasks in flight: a submitted task
+                # always finds a free worker, so its deadline bounds
+                # execution time rather than time spent queued behind
+                # other tasks.
+                nonlocal next_pos
+                while next_pos < len(queue) and len(futures) < pool_size:
+                    index = queue[next_pos]
+                    next_pos += 1
+                    future = pool.submit(fn, *tasks[index])
+                    futures[future] = index
+                    deadlines[future] = (
+                        (time.monotonic() + timeout)
+                        if timeout is not None
+                        else None
+                    )
+
+            submit_up_to_capacity()
+            while futures:
                 wait_for = None
                 if timeout is not None:
                     wait_for = max(
                         0.0,
-                        min(deadlines[f] for f in unfinished) - time.monotonic(),
+                        min(deadlines[f] for f in futures) - time.monotonic(),
                     )
-                finished, unfinished = wait(
-                    unfinished, timeout=wait_for, return_when=FIRST_COMPLETED
+                finished, _ = wait(
+                    set(futures), timeout=wait_for, return_when=FIRST_COMPLETED
                 )
                 for future in finished:
-                    index = futures[future]
+                    index = futures.pop(future)
+                    del deadlines[future]
                     results[index] = future.result()
                     pending.discard(index)
                     if on_result is not None:
                         on_result(index, results[index])
-                if timeout is not None and unfinished:
+                if timeout is not None and futures:
                     now = time.monotonic()
-                    overdue = [f for f in unfinished if deadlines[f] <= now]
+                    overdue = [f for f in futures if deadlines[f] <= now]
                     if overdue:
                         for future in overdue:
                             index = futures[future]
                             attempts[index] += 1
                             if attempts[index] > max_retries:
+                                # The worker running this task may be
+                                # genuinely hung; joining it would wedge
+                                # the parent, so abandon the pool before
+                                # the error propagates.
+                                abandon = True
                                 raise SimulationError(
                                     f"task {index} exceeded its {timeout} s "
                                     f"timeout on {attempts[index]} attempts; "
                                     "giving up (it would hang serially too)"
                                 )
                         raise _PoolRestart
+                submit_up_to_capacity()
         except _PoolRestart:
             # Overdue tasks re-enter `pending`; only here may workers be
             # genuinely hung, so the pool is torn down without joining.
@@ -320,8 +344,9 @@ def run_simulator_parallel(
             all modelling options are honoured).
         workers: process count; shards follow :func:`split_trials` and
             seeds follow :func:`spawn_seed_sequences`.
-        timeout: optional per-shard wall-clock bound in seconds; an
-            overdue shard's pool is abandoned and the shard retried.
+        timeout: optional per-shard running-time bound in seconds
+            (queue wait excluded); an overdue shard's pool is abandoned
+            and the shard retried.
         max_retries: pool rebuilds allowed per shard before the serial
             fallback (crashes) or a raised error (timeouts).
 
@@ -391,8 +416,9 @@ def parallel_map(
             ``fn(**item)`` when ``kwargs_items`` is true.
         workers: ``1`` runs inline (no pool, no pickling requirement).
         kwargs_items: treat each item as a keyword-argument dict.
-        timeout: optional per-item wall-clock bound in seconds (pool mode;
-            the inline path runs items unbounded, as plain calls would).
+        timeout: optional per-item running-time bound in seconds, queue
+            wait excluded (pool mode; the inline path runs items
+            unbounded, as plain calls would).
         max_retries: pool rebuilds allowed per item before the serial
             fallback (crashes) or a raised error (timeouts).
         on_result: optional ``(index, result)`` callback fired as each

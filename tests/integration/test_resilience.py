@@ -98,6 +98,7 @@ class TestCrashRecovery:
     def test_timeout_exhaustion_raises(self):
         import time as time_module
 
+        start = time_module.monotonic()
         with pytest.raises(SimulationError, match="timeout"):
             parallel_map(
                 time_module.sleep,
@@ -106,6 +107,24 @@ class TestCrashRecovery:
                 timeout=1.0,
                 max_retries=0,
             )
+        # The error must propagate without joining the hung workers:
+        # anywhere near the 30 s sleep means the pool was waited on.
+        assert time_module.monotonic() - start < 15.0
+
+    def test_queue_wait_does_not_count_toward_timeout(self):
+        import time as time_module
+
+        # 12 half-second tasks on 2 workers: the last ones sit queued for
+        # ~2.5 s, beyond the 2 s timeout that each task individually
+        # satisfies with room to spare.  No task may be marked overdue.
+        results = parallel_map(
+            time_module.sleep,
+            [0.5] * 12,
+            workers=2,
+            timeout=2.0,
+            max_retries=0,
+        )
+        assert results == [None] * 12
 
 
 class TestCheckpointResume:

@@ -26,6 +26,27 @@ class TestParser:
         assert args.seed == 1
         assert args.accuracy == 0.9
 
+    def test_options_before_subcommand(self):
+        args = build_parser().parse_args(
+            ["--trials", "2000", "--workers", "4", "fig9a"]
+        )
+        assert args.experiment == "fig9a"
+        assert args.trials == 2000
+        assert args.workers == 4
+        assert args.seed == 20080617  # untouched options keep defaults
+
+    def test_option_after_subcommand_wins(self):
+        args = build_parser().parse_args(
+            ["--trials", "2000", "fig9a", "--trials", "500", "--seed", "1"]
+        )
+        assert args.trials == 500
+        assert args.seed == 1
+
+    def test_plot_flag_before_subcommand(self):
+        args = build_parser().parse_args(["--plot", "fig8"])
+        assert args.plot is True
+        assert build_parser().parse_args(["fig8"]).plot is False
+
 
 class TestMain:
     def test_fig8_prints_table(self, capsys):

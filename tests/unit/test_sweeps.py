@@ -2,6 +2,7 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
@@ -116,6 +117,30 @@ class TestCheckpointing:
         first = grid_sweep(grids, _pair, checkpoint=str(path))
         resumed = grid_sweep(grids, _pair, checkpoint=str(path))
         assert first == resumed == grid_sweep(grids, _pair)
+
+    def test_numpy_scalar_rows_checkpoint_and_resume(self, tmp_path):
+        path = tmp_path / "ck.json"
+
+        def compute(value):
+            return {
+                "value": np.int64(value),
+                "mean": np.float32(value) / 2,
+                "hit": np.bool_(value > 1),
+                "counts": np.arange(value),
+            }
+
+        rows = sweep([1, 2], compute, checkpoint=str(path))
+        assert rows[1]["value"] == 2 and rows[1]["hit"]
+        state = json.loads(path.read_text())
+        assert state["completed"]["0"]["counts"] == [0]
+        resumed = sweep([1, 2], compute, checkpoint=str(path))
+        assert resumed[0]["mean"] == 0.5
+        assert [row["value"] for row in resumed] == [1, 2]
+
+    def test_unserialisable_rows_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        with pytest.raises(TypeError, match="JSON-serialisable"):
+            sweep([1], lambda value: {"bad": object()}, checkpoint=str(path))
 
     def test_checkpoint_with_workers(self, tmp_path):
         path = tmp_path / "ck.json"
