@@ -1,0 +1,119 @@
+"""Perf-regression smoke gates against the committed benchmark baselines.
+
+These tests (marker: ``bench_smoke``) load the repository's recorded
+``benchmarks/results/perf-par.json`` / ``perf-cache.json`` trajectories
+and fail when a quick smoke run regresses more than **3x** on the
+recorded ``cpu_count=1`` serial baseline:
+
+* per-*trial* Monte Carlo time on the PERF-PAR scenario (N=240, V=10,
+  workers=1) — catches accidental de-vectorisation or per-trial dict
+  churn sneaking into the hot loop (the exact failure mode the obs
+  subsystem's zero-overhead contract forbids);
+* per-*point* analysis time on the PERF-CACHE cold grid pass — catches a
+  broken cache key silently recomputing every geometry.
+
+The 3x envelope absorbs host-speed differences between the recording
+machine and CI runners while still catching order-of-magnitude
+regressions.  Both tests skip (not fail) when the baseline files are
+absent — a fresh clone without committed results has nothing to gate on.
+
+Run them with the smoke-bench CI job::
+
+    python -m pytest benchmarks/bench_regression.py -m bench_smoke -q
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import pytest
+
+from repro.cache import analysis_cache, clear_analysis_cache
+from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.experiments.presets import onr_scenario
+from repro.experiments.records import ExperimentRecord
+from repro.simulation.runner import MonteCarloSimulator
+
+pytestmark = pytest.mark.bench_smoke
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Maximum tolerated slowdown over the committed serial baseline.
+REGRESSION_FACTOR = 3.0
+
+#: Trials for the smoke Monte Carlo — small enough for CI, large enough
+#: that per-trial time is dominated by the batched arithmetic.
+SMOKE_TRIALS = 1_000
+
+
+def _load_baseline(name: str) -> ExperimentRecord:
+    path = RESULTS_DIR / name
+    if not path.exists():
+        pytest.skip(f"no committed baseline at {path}")
+    return ExperimentRecord.from_json(path.read_text())
+
+
+def test_per_trial_time_vs_recorded_baseline():
+    baseline = _load_baseline("perf-par.json")
+    serial_rows = [row for row in baseline.rows if row["workers"] == 1]
+    assert serial_rows, "perf-par.json has no workers=1 row"
+    baseline_trials = baseline.parameters["trials"]
+    baseline_per_trial = serial_rows[0]["seconds"] / baseline_trials
+
+    scenario = onr_scenario(
+        num_sensors=baseline.parameters["num_sensors"],
+        speed=baseline.parameters["speed"],
+    )
+    simulator = MonteCarloSimulator(
+        scenario, trials=SMOKE_TRIALS, seed=baseline.parameters["seed"]
+    )
+    simulator.run()  # warm-up: code paths, allocator, BLAS threads
+    start = time.perf_counter()
+    simulator.run()
+    per_trial = (time.perf_counter() - start) / SMOKE_TRIALS
+
+    assert per_trial <= REGRESSION_FACTOR * baseline_per_trial, (
+        f"smoke per-trial time {per_trial * 1e3:.3f} ms exceeds "
+        f"{REGRESSION_FACTOR}x the recorded cpu_count="
+        f"{baseline.parameters.get('cpu_count')} baseline "
+        f"{baseline_per_trial * 1e3:.3f} ms"
+    )
+
+
+def test_per_point_analysis_time_vs_recorded_baseline():
+    baseline = _load_baseline("perf-cache.json")
+    cold_rows = [row for row in baseline.rows if row["grid_pass"] == 1]
+    assert cold_rows, "perf-cache.json has no grid_pass=1 row"
+    node_counts = baseline.parameters["node_counts"]
+    thresholds = baseline.parameters["thresholds"]
+    points = len(node_counts) * len(thresholds)
+    baseline_per_point = cold_rows[0]["seconds"] / points
+
+    # Warm the numpy/scipy code paths with a *different* geometry, then
+    # start the timed pass against a genuinely cold cache.
+    MarkovSpatialAnalysis(
+        onr_scenario(num_sensors=60, speed=4.0), 3
+    ).detection_probability()
+    clear_analysis_cache()
+    start = time.perf_counter()
+    for count in node_counts:
+        for threshold in thresholds:
+            scenario = onr_scenario(
+                num_sensors=count,
+                speed=baseline.parameters["speed"],
+                threshold=threshold,
+            )
+            MarkovSpatialAnalysis(scenario, 3).detection_probability()
+    per_point = (time.perf_counter() - start) / points
+
+    # The cold pass must still have been cache-assisted: a broken key
+    # would show up as every point recomputing its geometry.
+    stats = analysis_cache().stats()
+    assert stats["hits"] > 0, stats
+
+    assert per_point <= REGRESSION_FACTOR * baseline_per_point, (
+        f"smoke per-point analysis time {per_point * 1e3:.3f} ms exceeds "
+        f"{REGRESSION_FACTOR}x the recorded baseline "
+        f"{baseline_per_point * 1e3:.3f} ms"
+    )

@@ -19,6 +19,7 @@ import pathlib
 
 import pytest
 
+from repro import obs
 from repro.experiments.records import ExperimentRecord
 from repro.experiments.tables import render_table
 
@@ -34,10 +35,26 @@ def bench_seed() -> int:
 
 
 @pytest.fixture
-def emit_record():
+def bench_instrumentation():
+    """Per-benchmark instrumentation, active for the whole test.
+
+    Spans, counters, and cache statistics recorded while the benchmark
+    runs end up in the manifest block of every record it emits, so the
+    committed ``benchmarks/results/*.json`` trajectories carry stage
+    timings alongside the tabular data.
+    """
+    instrumentation = obs.Instrumentation()
+    with obs.activate(instrumentation):
+        yield instrumentation
+
+
+@pytest.fixture
+def emit_record(bench_instrumentation):
     """Print an ExperimentRecord as a table and persist it as JSON."""
 
     def emit(record: ExperimentRecord) -> None:
+        if record.manifest is None:
+            record.manifest = bench_instrumentation.manifest()
         rows = [[row.get(col) for col in record.columns] for row in record.rows]
         print()
         print(f"[{record.experiment_id}] {record.title}")

@@ -42,12 +42,14 @@ from repro.errors import (
     ScenarioError,
     SimulationError,
 )
+from repro import obs
 from repro.experiments.presets import onr_scenario
 from repro.faults import (
     FaultModel,
     degraded_detection_probability,
     degraded_scenario,
 )
+from repro.obs import Instrumentation, instrument
 from repro.parallel import available_workers, parallel_map
 from repro.simulation import (
     MonteCarloSimulator,
@@ -68,6 +70,7 @@ __all__ = [
     "FaultError",
     "FaultModel",
     "GeometryError",
+    "Instrumentation",
     "MarkovChainError",
     "MarkovSpatialAnalysis",
     "MonteCarloSimulator",
@@ -90,6 +93,8 @@ __all__ = [
     "degraded_scenario",
     "deploy_uniform",
     "detection_probability_single_period",
+    "instrument",
+    "obs",
     "onr_scenario",
     "parallel_map",
 ]

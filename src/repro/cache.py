@@ -37,6 +37,8 @@ from typing import Any, Callable, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import current as _obs_current
+
 __all__ = [
     "AnalysisCache",
     "analysis_cache",
@@ -88,11 +90,25 @@ class AnalysisCache:
             return key in self._entries
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing it on first use."""
+        """Return the cached value for ``key``, computing it on first use.
+
+        Hits and misses also increment the active instrumentation's
+        ``cache.hits`` / ``cache.misses`` counters
+        (:func:`repro.obs.current`) so run manifests carry them; the
+        racing-compute path charges neither, matching the local counters.
+        """
         with self._lock:
             if key in self._entries:
                 self._hits += 1
-                return self._entries[key]
+                value = self._entries[key]
+                hit = True
+            else:
+                hit = False
+        if hit:
+            ob = _obs_current()
+            if ob.enabled:
+                ob.incr("cache.hits")
+            return value
         # Compute outside the lock: computations can be slow and may
         # themselves consult the cache (e.g. pmfs built from region areas).
         value = compute()
@@ -106,6 +122,9 @@ class AnalysisCache:
                 and len(self._entries) > self._max_entries
             ):
                 self._entries.popitem(last=False)
+        ob = _obs_current()
+        if ob.enabled:
+            ob.incr("cache.misses")
         return value
 
     def clear(self) -> None:

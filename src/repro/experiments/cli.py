@@ -25,6 +25,7 @@ import pathlib
 import sys
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs
 from repro.experiments import figures
 from repro.experiments.plotting import plot_record
 from repro.experiments.records import ExperimentRecord
@@ -273,6 +274,22 @@ def _shared_options(suppress_defaults: bool = False) -> argparse.ArgumentParser:
         default=default(False),
         help="render an ASCII chart after each table (where applicable)",
     )
+    parent.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=default(None),
+        metavar="FILE",
+        help="stream instrumentation events (spans, counters, task "
+        "lifecycle) to this JSONL file; the run manifest is appended as "
+        "the final line and also written to FILE.manifest.json",
+    )
+    parent.add_argument(
+        "--profile",
+        action="store_true",
+        default=default(False),
+        help="print a per-stage wall/CPU profile and counter summary to "
+        "stderr after the run",
+    )
     return parent
 
 
@@ -337,21 +354,56 @@ def _emit(
         print(f"wrote {path}")
 
 
+def _dispatch(args: argparse.Namespace, instrumentation) -> int:
+    """Run the selected experiment(s), one top-level span per experiment.
+
+    The spans are the manifest's *stages*: each experiment (including
+    its table rendering and JSON emission) runs inside one depth-0
+    ``experiment:<name>`` span, so the per-stage wall times sum to the
+    instrumented run's wall clock.
+    """
+    if args.experiment == "validate":
+        from repro.experiments.validation import run_validation
+
+        with instrumentation.span("experiment:validate"):
+            summary = run_validation(trials=args.trials, seed=args.seed)
+            print(summary.render())
+            return 0 if summary.passed else 1
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        with instrumentation.span(f"experiment:{name}"):
+            record = _EXPERIMENTS[name](args)
+            _emit(record, args.json, plot=args.plot)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment == "validate":
-        from repro.experiments.validation import run_validation
-
-        summary = run_validation(trials=args.trials, seed=args.seed)
-        print(summary.render())
-        return 0 if summary.passed else 1
-    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        record = _EXPERIMENTS[name](args)
-        _emit(record, args.json, plot=args.plot)
-    return 0
+    trace = getattr(args, "trace", None)
+    profile = bool(getattr(args, "profile", False))
+    if trace is None and not profile:
+        return _dispatch(args, obs.NULL_INSTRUMENTATION)
+    sink = obs.JsonlSink(trace) if trace is not None else None
+    instrumentation = obs.Instrumentation(sink=sink)
+    instrumentation.set_run_info(
+        command=args.experiment,
+        trials=args.trials,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    try:
+        with obs.activate(instrumentation):
+            return _dispatch(args, instrumentation)
+    finally:
+        manifest = instrumentation.manifest()
+        if sink is not None:
+            sink.write({"type": "manifest", "manifest": manifest})
+            sink.close()
+            obs.write_manifest(manifest, str(trace) + ".manifest.json")
+        if profile:
+            print(obs.render_profile(manifest), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via entry point

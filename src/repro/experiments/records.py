@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 
 __all__ = ["ExperimentRecord"]
@@ -20,6 +20,11 @@ class ExperimentRecord:
         parameters: the swept/fixed parameters that produced the data.
         columns: column names, in display order.
         rows: list of rows; each row is a mapping from column name to value.
+        manifest: optional observability manifest of the run that produced
+            the data (:meth:`repro.obs.Instrumentation.manifest`) — stage
+            wall/CPU times, counters, cache statistics.  Benchmark records
+            carry it so ``benchmarks/results/*.json`` trajectories keep
+            their timing provenance.
     """
 
     experiment_id: str
@@ -27,6 +32,7 @@ class ExperimentRecord:
     parameters: Dict[str, Any] = field(default_factory=dict)
     columns: List[str] = field(default_factory=list)
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    manifest: Optional[Dict[str, Any]] = None
 
     def add_row(self, **values: Any) -> None:
         """Append a row; unknown columns are added to the column list."""
@@ -53,4 +59,5 @@ class ExperimentRecord:
             parameters=data.get("parameters", {}),
             columns=list(data.get("columns", [])),
             rows=list(data.get("rows", [])),
+            manifest=data.get("manifest"),
         )

@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.parallel import parallel_map
 
@@ -122,27 +123,59 @@ def _run_points(
     timeout: Optional[float],
     max_retries: int,
 ) -> List[Dict[str, Any]]:
-    """Shared sweep engine: resume from checkpoint, compute the rest."""
+    """Shared sweep engine: resume from checkpoint, compute the rest.
+
+    Observability: with instrumentation active the engine counts every
+    point (``sweep.points``), marks the ones served from a checkpoint
+    (``sweep.points_from_checkpoint`` plus a ``sweep.resume`` event
+    listing their indexes), emits a ``sweep.point_complete`` event and a
+    ``sweep.checkpoint_write`` count per persisted row, and — at
+    ``workers=1``, where ``compute`` runs in the parent — wraps each
+    evaluation in a ``sweep.point`` span.
+    """
+    ob = obs.current()
+    if ob.enabled:
+        ob.incr("sweep.points", len(points))
     if checkpoint is None:
-        return parallel_map(
-            compute,
-            points,
-            workers=workers,
-            kwargs_items=kwargs_items,
-            timeout=timeout,
-            max_retries=max_retries,
-        )
-    fingerprint = _points_fingerprint(points)
-    completed = _load_checkpoint(checkpoint, fingerprint)
+        fingerprint = None
+        completed: Dict[int, Any] = {}
+    else:
+        fingerprint = _points_fingerprint(points)
+        completed = _load_checkpoint(checkpoint, fingerprint)
+        if ob.enabled and completed:
+            ob.incr("sweep.points_from_checkpoint", len(completed))
+            ob.event(
+                "sweep.resume",
+                checkpoint=checkpoint,
+                from_checkpoint=sorted(completed),
+            )
     missing = [index for index in range(len(points)) if index not in completed]
     if missing:
+        compute_fn = compute
+        if ob.enabled and workers == 1:
+            # Inline execution never pickles, so a closure wrapper is
+            # safe; pool workers reset to null instrumentation instead
+            # (the parent-side task events cover them).
+            def compute_fn(*args: Any, **kwargs: Any) -> Any:
+                with ob.span("sweep.point"):
+                    return compute(*args, **kwargs)
 
-        def on_result(position: int, row: Any) -> None:
-            completed[missing[position]] = row
-            _write_checkpoint(checkpoint, fingerprint, completed)
+        on_result = None
+        if checkpoint is not None or ob.enabled:
+
+            def on_result(position: int, row: Any) -> None:
+                index = missing[position]
+                if checkpoint is not None:
+                    completed[index] = row
+                    _write_checkpoint(checkpoint, fingerprint, completed)
+                    if ob.enabled:
+                        ob.incr("sweep.checkpoint_writes")
+                if ob.enabled:
+                    ob.incr("sweep.points_completed")
+                    ob.event("sweep.point_complete", index=index)
 
         rows = parallel_map(
-            compute,
+            compute_fn,
             [points[index] for index in missing],
             workers=workers,
             kwargs_items=kwargs_items,
@@ -152,7 +185,8 @@ def _run_points(
         )
         for position, index in enumerate(missing):
             completed[index] = rows[position]
-        _write_checkpoint(checkpoint, fingerprint, completed)
+        if checkpoint is not None:
+            _write_checkpoint(checkpoint, fingerprint, completed)
     return [completed[index] for index in range(len(points))]
 
 

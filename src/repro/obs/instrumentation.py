@@ -1,0 +1,381 @@
+"""Hierarchical spans, monotonic counters, gauges, and structured events.
+
+One :class:`Instrumentation` object holds everything a run records:
+
+* **spans** — nested wall/CPU-timed intervals (``perf_counter`` /
+  ``process_time``), each remembering its parent and depth, so a profile
+  can be aggregated per stage afterwards;
+* **counters** — monotonically non-decreasing integers (trial counts,
+  retries, cache hits, ...); :meth:`Instrumentation.incr` rejects
+  negative increments so the monotonicity invariant is structural;
+* **gauges** — last-write-wins numeric observations (queue depth,
+  hit rate, ...);
+* **events** — structured records appended to an in-memory list and, when
+  a sink is attached, streamed as JSONL lines the moment they happen
+  (crash forensics must not depend on a clean shutdown).
+
+The module also owns the *active* instrumentation: library code never
+receives an instrumentation argument — it asks :func:`current` for the
+process-wide instance, which defaults to the shared
+:data:`NULL_INSTRUMENTATION`.  The null object's ``enabled`` is ``False``
+and every method is a no-op returning shared singletons, so the
+disabled path allocates nothing and the hot loops can keep a single
+``if ob.enabled:`` guard around their bookkeeping — the zero-overhead
+contract that keeps the disabled simulator fingerprint-identical to the
+uninstrumented code (pinned by ``tests/unit/test_obs.py``).
+
+Worker processes spawned (or forked) by :mod:`repro.parallel` never
+inherit the parent's active instrumentation: an ``os.register_at_fork``
+hook resets the child to the null object, so two processes can never
+interleave writes into one trace file.  Parallel runs are therefore
+accounted from the *parent* side (task lifecycle events), not per-batch
+inside workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "OBS_SCHEMA_VERSION",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "Span",
+    "activate",
+    "current",
+    "instrument",
+    "scenario_fingerprint",
+]
+
+#: Version stamped into every manifest and trace line batch.
+OBS_SCHEMA_VERSION = 1
+
+
+def _cpu_count() -> int:
+    """CPUs usable by this process (affinity-aware where supported).
+
+    Duplicated from :func:`repro.parallel.available_workers` because the
+    obs package must stay a leaf import (parallel imports obs, not the
+    other way around).
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def scenario_fingerprint(scenario) -> str:
+    """Stable hex digest of a :class:`~repro.core.scenario.Scenario`.
+
+    Keyed on the full ``to_dict()`` payload, so any modelling parameter
+    change produces a different manifest fingerprint.
+    """
+    payload = json.dumps(scenario.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class Span:
+    """One timed interval; a context manager recording itself on exit."""
+
+    __slots__ = ("name", "attrs", "depth", "parent", "start", "_cpu0", "_obs")
+
+    def __init__(self, obs: "Instrumentation", name: str, attrs: Dict[str, Any]):
+        self._obs = obs
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self.parent: Optional[str] = None
+        self.start = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._obs._enter_span(self)
+        self.start = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self.start
+        cpu = time.process_time() - self._cpu0
+        self._obs._exit_span(self, wall, cpu, ok=exc_type is None)
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach extra attributes to the span (merged into its record)."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NullInstrumentation`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullInstrumentation:
+    """Disabled instrumentation: every operation is a free no-op.
+
+    ``enabled`` is ``False`` so hot paths can skip their bookkeeping
+    entirely; calling the recording methods anyway is still safe (and
+    allocation-free — :meth:`span` returns one shared null span).
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def incr(self, name: str, amount: int = 1) -> int:
+        return 0
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def set_run_info(self, **fields: Any) -> None:
+        pass
+
+    def manifest(self) -> Dict[str, Any]:
+        return {}
+
+
+NULL_INSTRUMENTATION = NullInstrumentation()
+
+
+class Instrumentation:
+    """Live instrumentation: spans, counters, gauges, events, manifest.
+
+    Args:
+        sink: optional object with a ``write(record: dict)`` method (see
+            :class:`repro.obs.sinks.JsonlSink`); span-end and event
+            records stream into it as they happen.
+
+    Thread safety: counters/gauges/events are lock-protected (the
+    analysis cache increments from arbitrary threads); the span stack is
+    intentionally per-instance and single-threaded — the parent process
+    drives one run at a time, and worker processes are reset to the null
+    instrumentation at fork.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None):
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.spans: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        self._run_info: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "cpu_count": _cpu_count(),
+        }
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager timing one named stage.
+
+        Nested ``with`` blocks produce child spans: each records its
+        parent's name and its depth, and a child's interval always lies
+        within its parent's (property-tested in
+        ``tests/property/test_prop_obs.py``).
+        """
+        return Span(self, name, attrs)
+
+    def _enter_span(self, span: Span) -> None:
+        span.depth = len(self._stack)
+        span.parent = self._stack[-1].name if self._stack else None
+        self._stack.append(span)
+
+    def _exit_span(self, span: Span, wall: float, cpu: float, ok: bool) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        record = {
+            "type": "span",
+            "name": span.name,
+            "depth": span.depth,
+            "parent": span.parent,
+            "start": span.start - self._t0,
+            "wall": wall,
+            "cpu": cpu,
+            "ok": ok,
+        }
+        if span.attrs:
+            record["attrs"] = dict(span.attrs)
+        with self._lock:
+            self.spans.append(record)
+        self._emit(record)
+
+    # -- counters / gauges / events ------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> int:
+        """Increase counter ``name`` by ``amount`` (>= 0); returns the new value.
+
+        Counters are monotone by construction — a negative increment
+        raises ``ValueError`` instead of silently breaking the invariant.
+        """
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            value = self.counters.get(name, 0) + int(amount)
+            self.counters[name] = value
+        return value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of ``name`` (last write wins)."""
+        with self._lock:
+            self.gauges[name] = value
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Append a structured event (and stream it to the sink, if any)."""
+        record = {
+            "type": "event",
+            "name": name,
+            "t": time.perf_counter() - self._t0,
+        }
+        record.update(fields)
+        with self._lock:
+            self.events.append(record)
+        self._emit(record)
+
+    def set_run_info(self, **fields: Any) -> None:
+        """Merge identification fields into the manifest's ``run`` block."""
+        with self._lock:
+            self._run_info.update(fields)
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._sink is not None:
+            self._sink.write(record)
+
+    # -- manifest ------------------------------------------------------
+
+    def stage_totals(self) -> Dict[str, Dict[str, Any]]:
+        """Aggregate *top-level* (depth 0) spans by name.
+
+        Depth-0 spans partition the run's instrumented wall time, so
+        their totals are the manifest's per-stage breakdown; deeper spans
+        stay available in the trace for fine-grained analysis.
+        """
+        stages: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for span in spans:
+            if span["depth"] != 0:
+                continue
+            stage = stages.setdefault(
+                span["name"], {"count": 0, "wall": 0.0, "cpu": 0.0}
+            )
+            stage["count"] += 1
+            stage["wall"] += span["wall"]
+            stage["cpu"] += span["cpu"]
+        return stages
+
+    def manifest(self) -> Dict[str, Any]:
+        """The end-of-run summary: one JSON-serialisable dict.
+
+        Fields: schema version, the ``run`` identification block
+        (pid, cpu_count, plus whatever :meth:`set_run_info` merged —
+        scenario fingerprint, seed, workers, ...), total wall/CPU time
+        since construction, per-stage totals (:meth:`stage_totals`),
+        every counter and gauge, span/event volumes, and a snapshot of
+        the process-wide analysis cache's hit/miss statistics.
+        """
+        from repro.cache import analysis_cache  # leaf-ward import: no cycle
+
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._cpu0
+        with self._lock:
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
+            run_info = dict(self._run_info)
+            span_count = len(self.spans)
+            event_count = len(self.events)
+        return {
+            "schema": OBS_SCHEMA_VERSION,
+            "run": run_info,
+            "wall_time": wall,
+            "cpu_time": cpu,
+            "stages": self.stage_totals(),
+            "counters": counters,
+            "gauges": gauges,
+            "cache": analysis_cache().stats(),
+            "span_count": span_count,
+            "event_count": event_count,
+        }
+
+
+_ACTIVE: Union[Instrumentation, NullInstrumentation] = NULL_INSTRUMENTATION
+
+
+def current() -> Union[Instrumentation, NullInstrumentation]:
+    """The process's active instrumentation (the null object by default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(instrumentation: Instrumentation) -> Iterator[Instrumentation]:
+    """Install ``instrumentation`` as the active instance for the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = instrumentation
+    try:
+        yield instrumentation
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def instrument(trace: Optional[str] = None) -> Iterator[Instrumentation]:
+    """Convenience: build, activate, and (for traces) flush instrumentation.
+
+    Args:
+        trace: optional path; events and spans stream there as JSONL and
+            the manifest is appended as the final line on exit.
+    """
+    from repro.obs.sinks import JsonlSink
+
+    sink = JsonlSink(trace) if trace is not None else None
+    instrumentation = Instrumentation(sink=sink)
+    try:
+        with activate(instrumentation):
+            yield instrumentation
+    finally:
+        if sink is not None:
+            sink.write(
+                {"type": "manifest", "manifest": instrumentation.manifest()}
+            )
+            sink.close()
+
+
+def _reset_after_fork() -> None:  # pragma: no cover - exercised via workers
+    """Forked children must not inherit the parent's live instrumentation."""
+    global _ACTIVE
+    _ACTIVE = NULL_INSTRUMENTATION
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always true on Linux
+    os.register_at_fork(after_in_child=_reset_after_fork)

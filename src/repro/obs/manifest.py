@@ -1,0 +1,76 @@
+"""Run-manifest helpers: persistence and the ``--profile`` summary table.
+
+The manifest itself is built by
+:meth:`repro.obs.instrumentation.Instrumentation.manifest`; this module
+renders it for humans (stderr profile table) and machines (a standalone
+JSON file next to the trace, so CI can upload both as one artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+__all__ = ["render_profile", "write_manifest"]
+
+
+def write_manifest(manifest: Dict[str, Any], path: Union[str, "object"]) -> str:
+    """Write a manifest dict as pretty-printed JSON; returns the path."""
+    path = str(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _format_seconds(value: float) -> str:
+    return f"{value:.3f}s"
+
+
+def render_profile(manifest: Dict[str, Any]) -> str:
+    """A plain-text profile summary of one manifest.
+
+    Stages first (wall/CPU/share of total), then counters and gauges —
+    the table ``repro <experiment> --profile`` prints to stderr.
+    """
+    lines = ["== repro profile =="]
+    run = manifest.get("run", {})
+    if run:
+        keys = sorted(run)
+        lines.append(
+            "run: " + "  ".join(f"{key}={run[key]}" for key in keys)
+        )
+    wall = manifest.get("wall_time", 0.0)
+    cpu = manifest.get("cpu_time", 0.0)
+    lines.append(
+        f"total: wall={_format_seconds(wall)} cpu={_format_seconds(cpu)}"
+    )
+    stages = manifest.get("stages", {})
+    if stages:
+        lines.append("stages:")
+        width = max(len(name) for name in stages)
+        for name in sorted(stages, key=lambda n: -stages[n]["wall"]):
+            stage = stages[name]
+            share = (stage["wall"] / wall * 100.0) if wall > 0 else 0.0
+            lines.append(
+                f"  {name.ljust(width)}  wall={_format_seconds(stage['wall'])}"
+                f"  cpu={_format_seconds(stage['cpu'])}"
+                f"  n={stage['count']}  ({share:.1f}%)"
+            )
+    counters = manifest.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]}")
+    gauges = manifest.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {gauges[name]}")
+    cache = manifest.get("cache", {})
+    if cache:
+        lines.append(
+            "cache: entries={entries} hits={hits} misses={misses} "
+            "hit_rate={hit_rate:.3f}".format(**cache)
+        )
+    return "\n".join(lines)

@@ -69,6 +69,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 
 __all__ = [
@@ -232,19 +233,39 @@ def _execute_resilient(
 
     Returns:
         Results in task order.
+
+    Observability: when instrumentation is active
+    (:func:`repro.obs.current`), the engine emits the task lifecycle from
+    the parent side — ``parallel.task_submit`` / ``parallel.task_complete``
+    / ``parallel.task_retry`` / ``parallel.task_timeout`` /
+    ``parallel.pool_crash`` / ``parallel.serial_fallback`` events, with
+    matching ``parallel.*`` counters in the manifest.
     """
+    ob = obs.current()
     results: List[Any] = [None] * len(tasks)
     pending = set(range(len(tasks)))
     attempts = [0] * len(tasks)
+    if ob.enabled:
+        ob.incr("parallel.tasks", len(tasks))
     while pending:
         if any(attempts[index] > max_retries for index in pending):
             # Crash retries exhausted: finish the remaining work serially
             # in the parent rather than discarding completed shards.
+            if ob.enabled:
+                ob.incr("parallel.serial_fallback_tasks", len(pending))
+                ob.event(
+                    "parallel.serial_fallback", tasks=sorted(pending)
+                )
             for index in sorted(pending):
                 results[index] = fn(*tasks[index])
+                pending.discard(index)
+                if ob.enabled:
+                    ob.incr("parallel.tasks_completed")
+                    ob.event(
+                        "parallel.task_complete", index=index, mode="serial"
+                    )
                 if on_result is not None:
                     on_result(index, results[index])
-            pending.clear()
             break
         pool_size = min(workers, len(pending))
         pool = ProcessPoolExecutor(max_workers=pool_size)
@@ -271,6 +292,12 @@ def _execute_resilient(
                         if timeout is not None
                         else None
                     )
+                    if ob.enabled:
+                        ob.event(
+                            "parallel.task_submit",
+                            index=index,
+                            attempt=attempts[index],
+                        )
 
             submit_up_to_capacity()
             while futures:
@@ -288,6 +315,11 @@ def _execute_resilient(
                     del deadlines[future]
                     results[index] = future.result()
                     pending.discard(index)
+                    if ob.enabled:
+                        ob.incr("parallel.tasks_completed")
+                        ob.event(
+                            "parallel.task_complete", index=index, mode="pool"
+                        )
                     if on_result is not None:
                         on_result(index, results[index])
                 if timeout is not None and futures:
@@ -297,6 +329,14 @@ def _execute_resilient(
                         for future in overdue:
                             index = futures[future]
                             attempts[index] += 1
+                            if ob.enabled:
+                                ob.incr("parallel.task_timeouts")
+                                ob.event(
+                                    "parallel.task_timeout",
+                                    index=index,
+                                    attempts=attempts[index],
+                                    timeout=timeout,
+                                )
                             if attempts[index] > max_retries:
                                 # The worker running this task may be
                                 # genuinely hung; joining it would wedge
@@ -318,6 +358,17 @@ def _execute_resilient(
             # A worker died; we cannot tell whose task killed it, so every
             # unfinished task gets one attempt charged.  Determinism makes
             # the retry exact: same seed material, same result.
+            if ob.enabled:
+                ob.incr("parallel.pool_crashes")
+                ob.incr("parallel.task_retries", len(pending))
+                ob.event("parallel.pool_crash", pending=sorted(pending))
+                for index in sorted(pending):
+                    ob.event(
+                        "parallel.task_retry",
+                        index=index,
+                        attempts=attempts[index] + 1,
+                        reason="pool_crash",
+                    )
             for index in pending:
                 attempts[index] += 1
         finally:

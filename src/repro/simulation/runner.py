@@ -19,11 +19,13 @@ Boundary modes (DESIGN.md §2):
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.scenario import Scenario
 from repro.errors import SimulationError
 from repro.faults import FaultModel
@@ -467,11 +469,23 @@ class MonteCarloSimulator:
         workers = self._workers if workers is None else workers
         if not isinstance(workers, (int, np.integer)) or workers < 1:
             raise SimulationError(f"workers must be an integer >= 1, got {workers!r}")
+        ob = obs.current()
+        if ob.enabled:
+            ob.set_run_info(
+                scenario_fingerprint=obs.scenario_fingerprint(self._scenario),
+                seed=self._seed,
+                workers=int(workers),
+                trials=self._trials,
+            )
         if workers > 1:
             from repro.parallel import run_simulator_parallel
 
-            return run_simulator_parallel(self, int(workers))
-        return self._run_serial(self._trials, np.random.default_rng(self._seed))
+            with ob.span("sim.run", mode="parallel", workers=int(workers)):
+                return run_simulator_parallel(self, int(workers))
+        with ob.span("sim.run", mode="serial"):
+            return self._run_serial(
+                self._trials, np.random.default_rng(self._seed)
+            )
 
     def _run_serial(
         self, trials: int, rng: np.random.Generator
@@ -488,8 +502,17 @@ class MonteCarloSimulator:
             else None
         )
 
+        # Observability: when instrumentation is active, each vectorised
+        # batch reports its trial throughput.  Disabled (the default) the
+        # single `measure` check per batch is the entire cost — the trial
+        # arithmetic and the RNG stream are untouched either way
+        # (fingerprint-pinned by tests/unit/test_obs.py).
+        ob = obs.current()
+        measure = ob.enabled
         done = 0
         while done < trials:
+            if measure:
+                batch_start = time.perf_counter()
             batch = min(self._batch_size, trials - done)
             sensors = self._deploy_batch(batch, rng)
             waypoints = self._sample_waypoints(batch, rng)
@@ -579,6 +602,17 @@ class MonteCarloSimulator:
             first[~crossed.any(axis=1)] = 0
             detection_periods[done : done + batch] = first
             done += batch
+            if measure:
+                seconds = time.perf_counter() - batch_start
+                ob.incr("sim.trials", batch)
+                ob.incr("sim.batches")
+                ob.event(
+                    "sim.batch",
+                    trials=batch,
+                    done=done,
+                    seconds=seconds,
+                    trials_per_sec=(batch / seconds) if seconds > 0 else None,
+                )
             if self._progress is not None:
                 self._progress(done, trials)
 

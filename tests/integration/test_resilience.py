@@ -20,10 +20,11 @@ import textwrap
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.experiments.figures import fault_injection_experiment
 from repro.experiments.sweeps import grid_sweep
-from repro.parallel import parallel_map
+from repro.parallel import _execute_resilient, parallel_map
 from repro.simulation.runner import MonteCarloSimulator, SimulationResult
 
 
@@ -127,6 +128,72 @@ class TestCrashRecovery:
         assert results == [None] * 12
 
 
+def _crash_once_task(value, crash_file):
+    if not os.path.exists(crash_file):
+        with open(crash_file, "w"):
+            pass
+        os._exit(1)
+    return value * value
+
+
+class TestCrashManifests:
+    def test_manifest_records_exact_retry_count(self, tmp_path):
+        """Acceptance: one forced crash of the only in-flight task shows
+        up in the manifest as exactly one pool crash and one task retry."""
+        crash_file = str(tmp_path / "crashed")
+        with obs.instrument() as ob:
+            results = _execute_resilient(
+                functools.partial(_crash_once_task, crash_file=crash_file),
+                [(3,)],
+                workers=1,
+            )
+            manifest = ob.manifest()
+        assert results == [9]
+        assert os.path.exists(crash_file)
+        assert manifest["counters"]["parallel.pool_crashes"] == 1
+        assert manifest["counters"]["parallel.task_retries"] == 1
+        assert manifest["counters"]["parallel.tasks_completed"] == 1
+        retry_events = [
+            e for e in ob.events if e["name"] == "parallel.task_retry"
+        ]
+        assert len(retry_events) == 1
+        assert retry_events[0]["index"] == 0
+        assert retry_events[0]["reason"] == "pool_crash"
+
+    def test_simulator_crash_retries_match_events(self, small, tmp_path):
+        """The manifest's retry counter is exact: it equals the number of
+        task_retry events the engine emitted for the forced crash."""
+        crash_file = str(tmp_path / "crashed")
+        with obs.instrument() as ob:
+            result = MonteCarloSimulator(
+                small,
+                trials=80,
+                seed=77,
+                deployment=functools.partial(
+                    _crashing_uniform, crash_file=crash_file
+                ),
+            ).run(workers=2)
+            manifest = ob.manifest()
+        assert os.path.exists(crash_file)
+        uninterrupted = MonteCarloSimulator(small, trials=80, seed=77).run(
+            workers=2
+        )
+        assert fingerprint(result) == fingerprint(uninterrupted)
+        # Exactly one pool crash; every charged retry has its event.
+        assert manifest["counters"]["parallel.pool_crashes"] == 1
+        retry_events = [
+            e for e in ob.events if e["name"] == "parallel.task_retry"
+        ]
+        assert manifest["counters"]["parallel.task_retries"] == len(
+            retry_events
+        )
+        # The crash left 1 or 2 shards unfinished (the sibling may or may
+        # not have completed first); each was charged exactly once.
+        assert 1 <= manifest["counters"]["parallel.task_retries"] <= 2
+        assert manifest["counters"]["parallel.tasks"] == 2
+        assert manifest["counters"]["parallel.tasks_completed"] == 2
+
+
 class TestCheckpointResume:
     def test_killed_grid_sweep_resumes_to_identical_rows(self, tmp_path):
         """Acceptance: kill a checkpointed sweep, rerun, rows identical."""
@@ -172,6 +239,106 @@ class TestCheckpointResume:
         )
         uninterrupted = grid_sweep({"a": [1, 2], "b": [10, 20]}, compute)
         assert resumed == uninterrupted
+
+    def test_resumed_sweep_manifest_marks_from_checkpoint(self, tmp_path):
+        """Acceptance: after a kill/resume, the manifest counts the
+        checkpoint-served points and the trace names their indexes."""
+        checkpoint = tmp_path / "grid.json"
+
+        def compute(a, b):
+            return {"a": a, "b": b, "product": a * b}
+
+        # First pass completes only half the grid (simulated kill: run
+        # a sweep over a prefix-compatible point set by pre-seeding the
+        # checkpoint with two completed points from a real partial run).
+        partial = grid_sweep(
+            {"a": [1, 2], "b": [10, 20]}, compute, checkpoint=str(checkpoint)
+        )
+        state = json.loads(checkpoint.read_text())
+        state["completed"] = {
+            k: v for k, v in state["completed"].items() if k in ("0", "2")
+        }
+        checkpoint.write_text(json.dumps(state))
+
+        with obs.instrument() as ob:
+            resumed = grid_sweep(
+                {"a": [1, 2], "b": [10, 20]},
+                compute,
+                checkpoint=str(checkpoint),
+            )
+            manifest = ob.manifest()
+        assert resumed == partial
+        assert manifest["counters"]["sweep.points"] == 4
+        assert manifest["counters"]["sweep.points_from_checkpoint"] == 2
+        assert manifest["counters"]["sweep.points_completed"] == 2
+        assert manifest["counters"]["sweep.checkpoint_writes"] == 2
+        (resume_event,) = [
+            e for e in ob.events if e["name"] == "sweep.resume"
+        ]
+        assert resume_event["from_checkpoint"] == [0, 2]
+        completed_events = sorted(
+            e["index"]
+            for e in ob.events
+            if e["name"] == "sweep.point_complete"
+        )
+        assert completed_events == [1, 3]
+
+    def test_killed_subprocess_sweep_resume_manifest(self, tmp_path):
+        """Same accounting on a genuinely killed sweep: the survivor's
+        checkpointed points are exactly the manifest's from_checkpoint."""
+        checkpoint = tmp_path / "grid.json"
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.experiments.sweeps import grid_sweep
+
+            def compute(a, b):
+                if a == 2 and b == 20:
+                    os._exit(1)  # the "power cut"
+                return {"a": a, "b": b, "product": a * b}
+
+            grid_sweep(
+                {"a": [1, 2], "b": [10, 20]},
+                compute,
+                checkpoint=sys.argv[1],
+            )
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(checkpoint)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1, proc.stderr
+        survived = sorted(
+            int(k)
+            for k in json.loads(checkpoint.read_text())["completed"]
+        )
+        assert survived  # partial progress really persisted
+
+        def compute(a, b):
+            return {"a": a, "b": b, "product": a * b}
+
+        with obs.instrument() as ob:
+            grid_sweep(
+                {"a": [1, 2], "b": [10, 20]},
+                compute,
+                checkpoint=str(checkpoint),
+            )
+            manifest = ob.manifest()
+        assert manifest["counters"]["sweep.points_from_checkpoint"] == len(
+            survived
+        )
+        (resume_event,) = [
+            e for e in ob.events if e["name"] == "sweep.resume"
+        ]
+        assert resume_event["from_checkpoint"] == survived
 
 
 class TestFaultExperimentSmoke:

@@ -1,0 +1,144 @@
+"""Property-based tests for repro.obs invariants.
+
+Three families:
+
+* structural span invariants under arbitrary nesting programs (child
+  intervals lie inside their parent, depths match the nesting, manifest
+  stage totals equal the sum of top-level span walls);
+* counter monotonicity under arbitrary increment sequences;
+* the zero-interference law: running the simulator under live
+  instrumentation yields the same :class:`SimulationResult` fingerprint
+  as running it disabled, for any (trials, seed, batch_size).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.experiments.presets import small_scenario
+from repro.obs import Instrumentation
+from repro.simulation.runner import MonteCarloSimulator
+
+
+def fingerprint(result) -> str:
+    digest = hashlib.sha256()
+    for array in (
+        result.report_counts,
+        result.node_counts,
+        result.false_report_counts,
+        result.detection_periods,
+    ):
+        if array is not None:
+            digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+#: A nesting "program": each element opens a span with that many children.
+nesting_programs = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=20,
+)
+
+
+def _run_program(ob: Instrumentation, program, depth: int = 0) -> None:
+    for index, children in enumerate(program):
+        with ob.span(f"d{depth}.s{index}"):
+            _run_program(ob, children, depth + 1)
+
+
+class TestSpanInvariants:
+    @given(program=nesting_programs)
+    @settings(max_examples=50, deadline=None)
+    def test_children_nest_inside_parents(self, program):
+        ob = Instrumentation()
+        _run_program(ob, program)
+        spans = ob.spans
+        # Reconstruct each span's enclosing interval via its recorded
+        # parent name: every child's [start, start+wall] must lie inside
+        # some same-named parent interval, and its depth must be the
+        # parent's depth + 1.
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        for span in spans:
+            if span["parent"] is None:
+                assert span["depth"] == 0
+                continue
+            parents = by_name[span["parent"]]
+            assert any(
+                parent["depth"] == span["depth"] - 1
+                and parent["start"] - 1e-9 <= span["start"]
+                and span["start"] + span["wall"]
+                <= parent["start"] + parent["wall"] + 1e-9
+                for parent in parents
+            ), (span, parents)
+
+    @given(program=nesting_programs)
+    @settings(max_examples=50, deadline=None)
+    def test_manifest_stage_totals_equal_top_level_span_sum(self, program):
+        ob = Instrumentation()
+        _run_program(ob, program)
+        manifest = ob.manifest()
+        top_level_wall = sum(s["wall"] for s in ob.spans if s["depth"] == 0)
+        stage_wall = sum(s["wall"] for s in manifest["stages"].values())
+        assert stage_wall == pytest.approx(top_level_wall, abs=1e-12)
+        assert stage_wall <= manifest["wall_time"] + 1e-9
+        assert sum(s["count"] for s in manifest["stages"].values()) == sum(
+            1 for s in ob.spans if s["depth"] == 0
+        )
+
+
+class TestCounterMonotonicity:
+    @given(
+        increments=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_counters_never_decrease(self, increments):
+        ob = Instrumentation()
+        seen = {}
+        for name, amount in increments:
+            value = ob.incr(name, amount)
+            assert value >= seen.get(name, 0)
+            seen[name] = value
+        assert ob.counters == {k: v for k, v in seen.items()}
+
+    @given(amount=st.integers(min_value=-1000, max_value=-1))
+    @settings(max_examples=20, deadline=None)
+    def test_negative_increments_rejected(self, amount):
+        ob = Instrumentation()
+        with pytest.raises(ValueError):
+            ob.incr("c", amount)
+        assert ob.counters.get("c", 0) == 0
+
+
+class TestZeroInterference:
+    @given(
+        trials=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        batch_size=st.sampled_from([7, 32, 512]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_instrumentation_never_changes_simulation_fingerprints(
+        self, trials, seed, batch_size
+    ):
+        scenario = small_scenario()
+        disabled = MonteCarloSimulator(
+            scenario, trials=trials, seed=seed, batch_size=batch_size
+        ).run()
+        with obs.instrument() as ob:
+            enabled = MonteCarloSimulator(
+                scenario, trials=trials, seed=seed, batch_size=batch_size
+            ).run()
+        assert fingerprint(enabled) == fingerprint(disabled)
+        assert ob.counters["sim.trials"] == trials

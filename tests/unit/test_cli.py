@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.experiments.cli import build_parser, main
+from repro.obs import read_jsonl
 
 
 class TestParser:
@@ -76,3 +77,81 @@ class TestMain:
         out = capsys.readouterr().out
         assert "EXT-BND" in out
         assert "torus" in out
+
+
+class TestObservability:
+    def test_trace_flag_parses(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig9a", "--trace", str(tmp_path / "t.jsonl"), "--profile"]
+        )
+        assert str(args.trace).endswith("t.jsonl")
+        assert args.profile is True
+        assert build_parser().parse_args(["fig9a"]).trace is None
+        assert build_parser().parse_args(["fig9a"]).profile is False
+
+    def test_fig9a_trace_and_profile(self, tmp_path, capsys):
+        """Acceptance: `repro fig9a --trace out.jsonl --profile` emits
+        parseable JSONL plus a manifest whose per-stage wall times sum to
+        (within tolerance) the instrumented run's wall clock."""
+        trace = tmp_path / "out.jsonl"
+        assert (
+            main(
+                [
+                    "fig9a",
+                    "--trials",
+                    "50",
+                    "--seed",
+                    "3",
+                    "--trace",
+                    str(trace),
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "[FIG9A]" in captured.out
+        assert "== repro profile ==" in captured.err
+        assert "experiment:fig9a" in captured.err
+
+        records = read_jsonl(trace)  # every line parses as JSON
+        assert records[-1]["type"] == "manifest"
+        manifest = records[-1]["manifest"]
+        assert manifest == json.loads(
+            (tmp_path / "out.jsonl.manifest.json").read_text()
+        )
+        # The experiment span is the run's single stage: its wall time
+        # accounts for (almost) all of the measured wall clock.
+        stage_wall = sum(s["wall"] for s in manifest["stages"].values())
+        assert stage_wall <= manifest["wall_time"]
+        assert stage_wall >= 0.95 * manifest["wall_time"]
+        # Trial accounting reached the manifest through the live run.
+        assert manifest["counters"]["sim.trials"] > 0
+        assert manifest["run"]["command"] == "fig9a"
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "experiment:fig9a" in span_names
+        assert "sim.run" in span_names
+
+    def test_profile_without_trace(self, capsys):
+        assert main(["fig8", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "== repro profile ==" in err
+        assert "experiment:fig8" in err
+
+    def test_trace_written_even_when_experiment_fails(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments import cli as cli_module
+
+        def boom(args):
+            raise RuntimeError("forced failure")
+
+        monkeypatch.setitem(cli_module._EXPERIMENTS, "fig8", boom)
+        trace = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            main(["fig8", "--trace", str(trace)])
+        records = read_jsonl(trace)
+        assert records[-1]["type"] == "manifest"
+        (span,) = [r for r in records if r["type"] == "span"]
+        assert span["name"] == "experiment:fig8"
+        assert span["ok"] is False

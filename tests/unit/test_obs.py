@@ -1,0 +1,311 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cache import analysis_cache, clear_analysis_cache
+from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.experiments.presets import small_scenario
+from repro.obs import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    JsonlSink,
+    read_jsonl,
+    render_profile,
+    scenario_fingerprint,
+    write_manifest,
+)
+from repro.simulation.runner import MonteCarloSimulator, SimulationResult
+
+#: The seed repo's golden fingerprint for small_scenario(), trials=500,
+#: seed=123 — first pinned in PR 1 and re-pinned here: enabling or
+#: disabling instrumentation must never move it.
+GOLDEN_FINGERPRINT = (
+    "8556e11ded8b057a444091c8e3f719a09474659083c4fb32dd8a92f5e4bf6678"
+)
+
+
+def fingerprint(result: SimulationResult) -> str:
+    digest = hashlib.sha256()
+    for array in (
+        result.report_counts,
+        result.node_counts,
+        result.false_report_counts,
+        result.detection_periods,
+    ):
+        if array is not None:
+            digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+class TestSpans:
+    def test_nesting_depth_and_parent(self):
+        ob = Instrumentation()
+        with ob.span("outer"):
+            with ob.span("inner"):
+                pass
+            with ob.span("inner"):
+                pass
+        by_name = {}
+        for span in ob.spans:
+            by_name.setdefault(span["name"], []).append(span)
+        (outer,) = by_name["outer"]
+        assert outer["depth"] == 0 and outer["parent"] is None
+        for inner in by_name["inner"]:
+            assert inner["depth"] == 1
+            assert inner["parent"] == "outer"
+
+    def test_child_interval_inside_parent(self):
+        ob = Instrumentation()
+        with ob.span("outer"):
+            with ob.span("inner"):
+                pass
+        outer = next(s for s in ob.spans if s["name"] == "outer")
+        inner = next(s for s in ob.spans if s["name"] == "inner")
+        assert outer["start"] <= inner["start"]
+        assert (
+            inner["start"] + inner["wall"]
+            <= outer["start"] + outer["wall"] + 1e-9
+        )
+
+    def test_span_records_failure(self):
+        ob = Instrumentation()
+        with pytest.raises(RuntimeError):
+            with ob.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = ob.spans
+        assert span["ok"] is False
+
+    def test_annotate_merges_attrs(self):
+        ob = Instrumentation()
+        with ob.span("stage", phase=1) as span:
+            span.annotate(extra="yes")
+        (record,) = ob.spans
+        assert record["attrs"] == {"phase": 1, "extra": "yes"}
+
+    def test_stage_totals_aggregate_top_level_only(self):
+        ob = Instrumentation()
+        for _ in range(3):
+            with ob.span("work"):
+                with ob.span("sub"):
+                    pass
+        stages = ob.stage_totals()
+        assert set(stages) == {"work"}
+        assert stages["work"]["count"] == 3
+        total_wall = sum(
+            s["wall"] for s in ob.spans if s["name"] == "work"
+        )
+        assert stages["work"]["wall"] == pytest.approx(total_wall)
+
+
+class TestCountersGaugesEvents:
+    def test_incr_accumulates_and_returns(self):
+        ob = Instrumentation()
+        assert ob.incr("c") == 1
+        assert ob.incr("c", 4) == 5
+        assert ob.counters["c"] == 5
+
+    def test_incr_rejects_negative(self):
+        ob = Instrumentation()
+        with pytest.raises(ValueError):
+            ob.incr("c", -1)
+
+    def test_gauge_last_write_wins(self):
+        ob = Instrumentation()
+        ob.gauge("g", 1.0)
+        ob.gauge("g", 2.5)
+        assert ob.gauges["g"] == 2.5
+
+    def test_events_ordered_with_timestamps(self):
+        ob = Instrumentation()
+        ob.event("first", a=1)
+        ob.event("second", b=2)
+        names = [e["name"] for e in ob.events]
+        assert names == ["first", "second"]
+        assert ob.events[0]["t"] <= ob.events[1]["t"]
+        assert ob.events[0]["a"] == 1
+
+
+class TestManifest:
+    def test_manifest_totals_match_span_sums(self):
+        ob = Instrumentation()
+        with ob.span("a"):
+            pass
+        with ob.span("b"):
+            pass
+        manifest = ob.manifest()
+        stage_wall = sum(s["wall"] for s in manifest["stages"].values())
+        span_wall = sum(s["wall"] for s in ob.spans)
+        assert stage_wall == pytest.approx(span_wall)
+        # Stages are a partition of the instrumented run, so their sum
+        # can never exceed the total wall clock.
+        assert stage_wall <= manifest["wall_time"]
+
+    def test_manifest_carries_run_info_and_counters(self):
+        ob = Instrumentation()
+        ob.set_run_info(seed=7, workers=2)
+        ob.incr("x", 3)
+        ob.gauge("y", 0.5)
+        manifest = ob.manifest()
+        assert manifest["schema"] == obs.OBS_SCHEMA_VERSION
+        assert manifest["run"]["seed"] == 7
+        assert manifest["run"]["workers"] == 2
+        assert manifest["run"]["cpu_count"] >= 1
+        assert manifest["counters"] == {"x": 3}
+        assert manifest["gauges"] == {"y": 0.5}
+
+    def test_manifest_snapshots_cache_stats(self):
+        clear_analysis_cache()
+        scenario = small_scenario()
+        with obs.instrument() as ob:
+            MarkovSpatialAnalysis(scenario, 3).detection_probability()
+            MarkovSpatialAnalysis(scenario, 3).detection_probability()
+            manifest = ob.manifest()
+        assert manifest["cache"] == analysis_cache().stats()
+        assert manifest["cache"]["hits"] > 0
+        # The wired counters agree with the cache's own accounting.
+        assert manifest["counters"]["cache.hits"] == manifest["cache"]["hits"]
+        assert (
+            manifest["counters"]["cache.misses"]
+            == manifest["cache"]["misses"]
+        )
+
+    def test_manifest_is_json_serialisable(self):
+        ob = Instrumentation()
+        with ob.span("s"):
+            ob.event("e", value=np.float64(1.5))
+        json.dumps(ob.manifest())
+
+    def test_write_manifest_round_trips(self, tmp_path):
+        ob = Instrumentation()
+        ob.incr("n", 2)
+        path = tmp_path / "manifest.json"
+        write_manifest(ob.manifest(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["counters"] == {"n": 2}
+
+    def test_render_profile_lists_stages_and_counters(self):
+        ob = Instrumentation()
+        ob.set_run_info(seed=1)
+        with ob.span("stage:one"):
+            pass
+        ob.incr("things", 4)
+        text = render_profile(ob.manifest())
+        assert "stage:one" in text
+        assert "things = 4" in text
+        assert "seed=1" in text
+
+
+class TestJsonlSink:
+    def test_events_and_spans_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.instrument(trace=str(path)) as ob:
+            with ob.span("outer"):
+                ob.event("hello", answer=42)
+        records = read_jsonl(path)
+        kinds = [record["type"] for record in records]
+        assert kinds == ["event", "span", "manifest"]
+        assert records[0]["name"] == "hello" and records[0]["answer"] == 42
+        assert records[1]["name"] == "outer"
+        assert records[-1]["manifest"]["event_count"] == 1
+
+    def test_sink_coerces_numpy_payloads(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write({"a": np.int64(3), "b": np.arange(2)})
+        (record,) = read_jsonl(path)
+        assert record == {"a": 3, "b": [0, 1]}
+
+    def test_close_is_idempotent_and_write_after_close_is_noop(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.write({"a": 1})
+        sink.close()
+        sink.close()
+        sink.write({"a": 2})  # silently dropped, never raises
+        assert len(read_jsonl(tmp_path / "trace.jsonl")) == 1
+
+
+class TestActivation:
+    def test_null_by_default(self):
+        assert obs.current() is NULL_INSTRUMENTATION
+        assert not obs.current().enabled
+
+    def test_activate_restores_previous(self):
+        ob = Instrumentation()
+        with obs.activate(ob):
+            assert obs.current() is ob
+            inner = Instrumentation()
+            with obs.activate(inner):
+                assert obs.current() is inner
+            assert obs.current() is ob
+        assert obs.current() is NULL_INSTRUMENTATION
+
+    def test_null_instrumentation_is_inert(self):
+        null = NULL_INSTRUMENTATION
+        with null.span("anything") as span:
+            span.annotate(ignored=True)
+        assert null.incr("c", 5) == 0
+        null.gauge("g", 1.0)
+        null.event("e")
+        null.set_run_info(seed=1)
+        assert null.manifest() == {}
+        # span handles are shared — the whole disabled path allocates
+        # nothing per call.
+        assert null.span("a") is null.span("b")
+
+
+class TestScenarioFingerprint:
+    def test_stable_and_parameter_sensitive(self):
+        a = scenario_fingerprint(small_scenario())
+        b = scenario_fingerprint(small_scenario())
+        c = scenario_fingerprint(small_scenario(num_sensors=99))
+        assert a == b
+        assert a != c
+
+
+class TestFingerprintPinned:
+    """Instrumentation must never perturb the simulation stream."""
+
+    def test_disabled_run_matches_seed_golden(self):
+        result = MonteCarloSimulator(
+            small_scenario(), trials=500, seed=123
+        ).run()
+        assert fingerprint(result) == GOLDEN_FINGERPRINT
+
+    def test_enabled_run_matches_seed_golden(self):
+        with obs.instrument() as ob:
+            result = MonteCarloSimulator(
+                small_scenario(), trials=500, seed=123
+            ).run()
+        assert fingerprint(result) == GOLDEN_FINGERPRINT
+        assert ob.counters["sim.trials"] == 500
+
+    def test_enabled_parallel_run_matches_disabled(self, small):
+        baseline = MonteCarloSimulator(small, trials=120, seed=9).run(
+            workers=2
+        )
+        with obs.instrument() as ob:
+            traced = MonteCarloSimulator(small, trials=120, seed=9).run(
+                workers=2
+            )
+        assert fingerprint(traced) == fingerprint(baseline)
+        assert ob.counters["parallel.tasks"] == 2
+        assert ob.counters["parallel.tasks_completed"] == 2
+
+
+class TestSimulatorAccounting:
+    def test_batch_events_cover_all_trials(self, small):
+        with obs.instrument() as ob:
+            MonteCarloSimulator(
+                small, trials=300, seed=5, batch_size=128
+            ).run()
+        batches = [e for e in ob.events if e["name"] == "sim.batch"]
+        assert sum(e["trials"] for e in batches) == 300
+        assert ob.counters["sim.batches"] == len(batches) == 3
+        assert ob.manifest()["run"]["scenario_fingerprint"] == (
+            scenario_fingerprint(small)
+        )
