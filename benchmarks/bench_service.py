@@ -1,0 +1,246 @@
+"""PERF-SVC — closed-loop load generation against the analysis service.
+
+Boots an in-process :class:`repro.service.AnalysisService` (real sockets,
+real process pool) and drives it with a closed-loop client fleet — each
+client thread issues its next request only after the previous response
+arrives, so offered load adapts to service capacity instead of piling up
+unboundedly.
+
+The load is ``/simulate`` — the compute-heavy endpoint, where coalescing
+actually pays — in two phases:
+
+* **cold bursts** — every round, all clients fire the *same fresh*
+  payload simultaneously (barrier-released; the seed varies per round,
+  so each round is a new fingerprint).  Exactly one Monte Carlo run per
+  round may execute; the rest of the burst must be absorbed by the
+  coalescer (or, for stragglers, the response cache).  This is the
+  headline guarantee: N concurrent identical requests → 1 computation.
+* **hot replay** — all clients re-request the round-0 payload.  Every
+  response must come from the bounded LRU cache, byte-identical, at far
+  lower latency.
+
+The record carries p50/p99 latency per phase and the measured
+coalescing ratio (``coalesced / requests``), alongside the server's own
+``/metrics`` accounting.
+
+Environment knobs (see ``benchmarks/conftest.py`` for the shared ones):
+
+* ``REPRO_BENCH_SVC_CLIENTS`` — concurrent closed-loop clients (default 8).
+* ``REPRO_BENCH_SVC_ROUNDS`` — cold burst rounds (default 8).
+* ``REPRO_BENCH_SVC_TRIALS`` — Monte Carlo trials per request (default
+  1000; large enough that a burst arrives well inside one computation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.experiments.records import ExperimentRecord
+from repro.service import AnalysisService, ServiceConfig
+
+SCENARIO = {
+    "field_width": 10_000.0,
+    "field_height": 10_000.0,
+    "num_sensors": 240,
+    "sensing_range": 600.0,
+    "target_speed": 10.0,
+    "sensing_period": 30.0,
+    "detect_prob": 0.9,
+    "window": 10,
+    "threshold": 3,
+}
+
+
+def _svc_clients() -> int:
+    return int(os.environ.get("REPRO_BENCH_SVC_CLIENTS", "8"))
+
+
+def _svc_rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_SVC_ROUNDS", "8"))
+
+
+def _svc_trials() -> int:
+    return int(os.environ.get("REPRO_BENCH_SVC_TRIALS", "1000"))
+
+
+class _ServerThread:
+    """An AnalysisService running on its own event loop in a thread."""
+
+    def __init__(self, config: ServiceConfig):
+        self.service = AnalysisService(config)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=30)
+
+
+def _request(host, port, path, payload):
+    connection = http.client.HTTPConnection(host, port, timeout=300)
+    try:
+        start = time.perf_counter()
+        connection.request("POST", path, body=json.dumps(payload).encode())
+        response = connection.getresponse()
+        body = response.read()
+        elapsed = time.perf_counter() - start
+        return response.status, body, elapsed
+    finally:
+        connection.close()
+
+
+def _run_phase(host, port, payload_for_round, clients, rounds):
+    """Closed-loop: each client fires once per barrier-released round."""
+    latencies = [[] for _ in range(clients)]
+    statuses = []
+    bodies_by_round = [set() for _ in range(rounds)]
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def client(index):
+        for round_index in range(rounds):
+            payload = payload_for_round(round_index)
+            barrier.wait()
+            status, body, elapsed = _request(host, port, "/simulate", payload)
+            latencies[index].append(elapsed)
+            with lock:
+                statuses.append(status)
+                bodies_by_round[round_index].add(body)
+
+    threads = [
+        threading.Thread(target=client, args=(index,)) for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    flat = [seconds for per_client in latencies for seconds in per_client]
+    return statuses, bodies_by_round, np.asarray(flat)
+
+
+def _counters(host, port):
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", "/metrics")
+        payload = json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+    counters = payload["counters"]
+    return {
+        "requests": counters.get("requests.simulate", 0),
+        "computations": counters.get("computations", 0),
+        "coalesced": counters.get("coalesced", 0),
+        "cache_served": counters.get("cache_served", 0),
+    }
+
+
+def test_service_load_profile(emit_record):
+    clients = _svc_clients()
+    rounds = _svc_rounds()
+    trials = _svc_trials()
+    config = ServiceConfig(
+        port=0,
+        workers=2,
+        queue_limit=max(64, 4 * clients),
+        request_timeout=300.0,
+    )
+
+    with _ServerThread(config) as server:
+        host, port = server.service.host, server.service.port
+
+        def cold_payload(round_index):
+            # A fresh fingerprint every round: the seed is a model input.
+            return {"scenario": SCENARIO, "trials": trials, "seed": round_index}
+
+        cold_statuses, cold_bodies, cold_latencies = _run_phase(
+            host, port, cold_payload, clients, rounds
+        )
+        after_cold = _counters(host, port)
+
+        hot_statuses, hot_bodies, hot_latencies = _run_phase(
+            host, port, lambda _round: cold_payload(0), clients, rounds
+        )
+        after_hot = _counters(host, port)
+
+    # -- correctness gates --------------------------------------------
+    assert set(cold_statuses) == {200}
+    assert set(hot_statuses) == {200}
+    # Byte-identical responses within every burst, cold and hot.
+    assert all(len(bodies) == 1 for bodies in cold_bodies)
+    assert all(len(bodies) == 1 for bodies in hot_bodies)
+    # One Monte Carlo run per unique payload, ever: the coalescer and
+    # cache absorbed every duplicate across both phases.
+    assert after_hot["computations"] == rounds
+    # Conservation: every request was leader, follower, or cache hit.
+    assert (
+        after_hot["computations"]
+        + after_hot["coalesced"]
+        + after_hot["cache_served"]
+        == after_hot["requests"]
+        == 2 * clients * rounds
+    )
+    # The hot phase never computed anything new.
+    assert after_hot["computations"] == after_cold["computations"]
+
+    # -- the record ----------------------------------------------------
+    cold_requests = clients * rounds
+    record = ExperimentRecord(
+        experiment_id="PERF-SVC",
+        title="Analysis service closed-loop load profile (/simulate)",
+        parameters={
+            "clients": clients,
+            "rounds": rounds,
+            "trials": trials,
+            "workers": config.workers,
+            "queue_limit": config.queue_limit,
+        },
+    )
+    for phase, latencies, counters_now, requests in (
+        ("cold", cold_latencies, after_cold, cold_requests),
+        ("hot", hot_latencies, after_hot, 2 * cold_requests),
+    ):
+        record.add_row(
+            phase=phase,
+            requests=len(latencies),
+            p50_ms=float(np.percentile(latencies, 50) * 1e3),
+            p99_ms=float(np.percentile(latencies, 99) * 1e3),
+            computations=counters_now["computations"],
+            coalesced=counters_now["coalesced"],
+            cache_served=counters_now["cache_served"],
+            coalescing_ratio=counters_now["coalesced"] / requests,
+        )
+    emit_record(record)
+
+    if clients > 1:
+        # A ~quarter-second Monte Carlo per round dwarfs request fan-in
+        # time: barrier-released duplicates must actually coalesce (not
+        # merely hit the cache after the fact).
+        assert after_cold["coalesced"] > 0, after_cold
+        # And the hot phase is pure cache traffic, so its median beats
+        # the cold phase's.
+        assert np.percentile(hot_latencies, 50) < np.percentile(
+            cold_latencies, 50
+        ), record.rows

@@ -24,6 +24,24 @@ Monte Carlo area est.     ``sensing_range``, ``step_length``, periods,
 free after the first grid point.  Cached arrays are returned read-only so
 an accidental in-place mutation cannot poison later lookups.
 
+Eviction policy
+---------------
+
+:class:`AnalysisCache` is a bounded **LRU** table with an optional
+**TTL**: a hit refreshes the entry's recency, the least-recently-used
+entry is evicted when ``max_entries`` is exceeded, and an entry older
+than ``ttl`` seconds is dropped (and re-computed) on its next lookup.
+The process-wide cache is bounded at :data:`DEFAULT_MAX_ENTRIES` so a
+long-lived process — notably ``repro serve`` — cannot grow it without
+limit; the serving layer's response cache
+(:mod:`repro.service.cache_policy`) reuses the same class with a TTL.
+
+Counter contract (asserted by ``tests/property/test_prop_cache.py``):
+every lookup is charged as *exactly one* of hit or miss, so
+``hits + misses == lookups`` always, all counters are monotone between
+:meth:`AnalysisCache.clear` calls, and ``evictions + expirations <=
+misses`` (only a miss can insert, so only inserts can evict).
+
 The cache is intentionally per-process: worker processes spawned by
 :mod:`repro.parallel` build their own (a fork inherits the parent's warm
 entries for free on platforms that fork).
@@ -32,6 +50,7 @@ entries for free on platforms that fork).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
@@ -41,6 +60,7 @@ from repro.obs import current as _obs_current
 
 __all__ = [
     "AnalysisCache",
+    "DEFAULT_MAX_ENTRIES",
     "analysis_cache",
     "clear_analysis_cache",
     "cached_array",
@@ -48,24 +68,68 @@ __all__ = [
     "region_geometry_key",
 ]
 
+#: Bound on the process-wide analysis cache.  Entries are small arrays,
+#: so this is generous for any sweep the CLI runs, while guaranteeing a
+#: long-lived server process cannot grow the table without limit.
+DEFAULT_MAX_ENTRIES = 4096
+
+_MISSING = object()
+
 
 class AnalysisCache:
-    """A thread-safe memo table with hit/miss counters.
+    """A thread-safe bounded LRU memo table with TTL and consistent counters.
 
     Args:
-        max_entries: optional bound; the oldest entry is evicted first
-            (insertion order).  ``None`` (default) keeps everything —
-            entries are small arrays, and :meth:`clear` is cheap.
+        max_entries: optional bound; the **least recently used** entry is
+            evicted when an insert exceeds it.  ``None`` keeps everything.
+        ttl: optional time-to-live in seconds; an entry older than this
+            is treated as absent (and removed) by the next lookup.
+            ``None`` (default) never expires.
+        clock: monotonic time source, injectable for tests.
+        obs_prefix: counter namespace mirrored into the active
+            :func:`repro.obs.current` instrumentation (``<prefix>.hits``,
+            ``.misses``, ``.evictions``, ``.expirations``).
+
+    Counter invariants: every :meth:`lookup` (and hence every
+    :meth:`get_or_compute`) charges exactly one of ``hits``/``misses``,
+    so ``hits + misses == lookups`` and all counters are monotone until
+    :meth:`clear`.
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        obs_prefix: str = "cache",
+    ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        # key -> (value, expiry deadline or None)
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Optional[float]]]" = (
+            OrderedDict()
+        )
         self._max_entries = max_entries
+        self._ttl = ttl
+        self._clock = clock
+        self._obs_prefix = obs_prefix
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The configured bound (``None`` = unbounded)."""
+        return self._max_entries
+
+    @property
+    def ttl(self) -> Optional[float]:
+        """The configured time-to-live in seconds (``None`` = never)."""
+        return self._ttl
 
     @property
     def hits(self) -> int:
@@ -74,58 +138,127 @@ class AnalysisCache:
 
     @property
     def misses(self) -> int:
-        """Lookups that had to compute."""
+        """Lookups that found nothing (or only an expired entry)."""
         return self._misses
 
+    @property
+    def lookups(self) -> int:
+        """Total lookups; always exactly ``hits + misses``."""
+        return self._hits + self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to honour ``max_entries`` (LRU order)."""
+        return self._evictions
+
+    @property
+    def expirations(self) -> int:
+        """Entries dropped because their TTL had passed at lookup time."""
+        return self._expirations
+
     def hit_rate(self) -> float:
-        """``hits / (hits + misses)``; 0.0 before any lookup."""
-        total = self._hits + self._misses
+        """``hits / lookups``; 0.0 before any lookup."""
+        total = self.lookups
         return self._hits / total if total else 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
+        """Presence test; counts nothing and never mutates the table."""
         with self._lock:
-            return key in self._entries
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return False
+            _, deadline = entry
+            return deadline is None or self._clock() < deadline
+
+    def _mirror(self, name: str, amount: int = 1) -> None:
+        ob = _obs_current()
+        if ob.enabled and amount:
+            ob.incr(f"{self._obs_prefix}.{name}", amount)
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Any]:
+        """One counted lookup: ``(True, value)`` on a live entry.
+
+        A hit refreshes the entry's LRU recency; an expired entry is
+        removed and charged as a miss (plus one expiration).  Exactly one
+        of ``hits``/``misses`` is incremented per call.
+        """
+        found = False
+        value: Any = None
+        expired = False
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is not _MISSING:
+                candidate, deadline = entry
+                if deadline is not None and self._clock() >= deadline:
+                    del self._entries[key]
+                    self._expirations += 1
+                    self._misses += 1
+                    expired = True
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    found = True
+                    value = candidate
+            else:
+                self._misses += 1
+        if found:
+            self._mirror("hits")
+        else:
+            if expired:
+                self._mirror("expirations")
+            self._mirror("misses")
+        return found, value
+
+    def store(self, key: Hashable, value: Any) -> Any:
+        """Insert ``value`` under ``key``; first writer wins.
+
+        Returns the value now cached (the existing one if a concurrent
+        writer got there first).  Inserting may evict the LRU entry.
+        Charges no hit/miss — only :meth:`lookup` counts lookups.
+        """
+        evicted = 0
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is not _MISSING:
+                existing, deadline = entry
+                if deadline is None or self._clock() < deadline:
+                    return existing
+            deadline = (
+                self._clock() + self._ttl if self._ttl is not None else None
+            )
+            self._entries[key] = (value, deadline)
+            self._entries.move_to_end(key)
+            while (
+                self._max_entries is not None
+                and len(self._entries) > self._max_entries
+            ):
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            self._mirror("evictions", evicted)
+        return value
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on first use.
 
         Hits and misses also increment the active instrumentation's
-        ``cache.hits`` / ``cache.misses`` counters
-        (:func:`repro.obs.current`) so run manifests carry them; the
-        racing-compute path charges neither, matching the local counters.
+        ``<prefix>.hits`` / ``<prefix>.misses`` counters
+        (:func:`repro.obs.current`) so run manifests carry them.  A
+        racing compute (two threads missing the same key) charges one
+        miss per loser *and* per winner — each thread performed a lookup
+        that found nothing — so ``hits + misses == lookups`` holds on
+        every path; the first stored value wins and is returned to all.
         """
-        with self._lock:
-            if key in self._entries:
-                self._hits += 1
-                value = self._entries[key]
-                hit = True
-            else:
-                hit = False
-        if hit:
-            ob = _obs_current()
-            if ob.enabled:
-                ob.incr("cache.hits")
+        found, value = self.lookup(key)
+        if found:
             return value
         # Compute outside the lock: computations can be slow and may
         # themselves consult the cache (e.g. pmfs built from region areas).
-        value = compute()
-        with self._lock:
-            if key in self._entries:  # lost a race; keep the first value
-                return self._entries[key]
-            self._misses += 1
-            self._entries[key] = value
-            if (
-                self._max_entries is not None
-                and len(self._entries) > self._max_entries
-            ):
-                self._entries.popitem(last=False)
-        ob = _obs_current()
-        if ob.enabled:
-            ob.incr("cache.misses")
-        return value
+        return self.store(key, compute())
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -133,18 +266,30 @@ class AnalysisCache:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
+            self._expirations = 0
 
     def stats(self) -> dict:
         """JSON-serialisable snapshot (for benchmark records and logs)."""
-        return {
-            "entries": len(self._entries),
-            "hits": self._hits,
-            "misses": self._misses,
-            "hit_rate": self.hit_rate(),
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "lookups": self._hits + self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+                "hit_rate": (
+                    self._hits / (self._hits + self._misses)
+                    if (self._hits + self._misses)
+                    else 0.0
+                ),
+                "max_entries": self._max_entries,
+                "ttl": self._ttl,
+            }
 
 
-_DEFAULT_CACHE = AnalysisCache()
+_DEFAULT_CACHE = AnalysisCache(max_entries=DEFAULT_MAX_ENTRIES)
 
 
 def analysis_cache() -> AnalysisCache:

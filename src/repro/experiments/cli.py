@@ -7,6 +7,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro runtime
     repro faults --trials 2000 --workers 4
     repro all --trials 1000 --json results/
+    repro serve --port 8080 --workers 4    # JSON analysis service (docs/service.md)
 
 Each experiment is an argparse subcommand; the options shared by every
 experiment (``--trials``, ``--seed``, ``--workers``, ``--accuracy``,
@@ -217,6 +218,7 @@ _HELP: Dict[str, str] = {
     "bases": "multi-base-station placement",
     "all": "run every experiment",
     "validate": "run the reproduction acceptance checks",
+    "serve": "run the JSON analysis service (see docs/service.md)",
 }
 
 
@@ -309,7 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="experiment",
         help="which experiment to run",
     )
-    for name in sorted(_EXPERIMENTS) + ["all", "validate"]:
+    for name in sorted(_EXPERIMENTS) + ["all", "validate", "serve"]:
         sub = subparsers.add_parser(name, parents=[parent], help=_HELP.get(name))
         if name == "netloss":
             sub.add_argument(
@@ -317,6 +319,45 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=3,
                 help="M-S body truncation g for the analysis column (default: 3)",
+            )
+        if name == "serve":
+            sub.add_argument(
+                "--host",
+                default="127.0.0.1",
+                help="bind address (default: 127.0.0.1)",
+            )
+            sub.add_argument(
+                "--port",
+                type=int,
+                default=8080,
+                help="bind port; 0 picks a free port and announces it "
+                "(default: 8080)",
+            )
+            sub.add_argument(
+                "--queue-limit",
+                type=int,
+                default=64,
+                help="max compute requests in flight before 503 backpressure "
+                "(default: 64)",
+            )
+            sub.add_argument(
+                "--cache-entries",
+                type=int,
+                default=1024,
+                help="response-cache LRU bound (default: 1024)",
+            )
+            sub.add_argument(
+                "--cache-ttl",
+                type=float,
+                default=None,
+                help="response time-to-live in seconds (default: never expire)",
+            )
+            sub.add_argument(
+                "--request-timeout",
+                type=float,
+                default=60.0,
+                help="per-request running-time bound in seconds; overdue "
+                "requests get 504 and the pool is recycled (default: 60)",
             )
     return parser
 
@@ -362,6 +403,20 @@ def _dispatch(args: argparse.Namespace, instrumentation) -> int:
     ``experiment:<name>`` span, so the per-stage wall times sum to the
     instrumented run's wall clock.
     """
+    if args.experiment == "serve":
+        from repro.service import ServiceConfig, run_service
+
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            cache_entries=args.cache_entries,
+            cache_ttl=args.cache_ttl,
+            request_timeout=args.request_timeout,
+        )
+        with instrumentation.span("experiment:serve"):
+            return run_service(config)
     if args.experiment == "validate":
         from repro.experiments.validation import run_validation
 

@@ -1,0 +1,50 @@
+"""repro.service — the async analysis serving layer behind ``repro serve``.
+
+A stdlib-only asyncio HTTP server exposing the model as JSON endpoints:
+
+=============  ======  ====================================================
+``/analyze``   POST    analytical detection probability (M-S-approach)
+``/simulate``  POST    Monte Carlo validation run (seeded, deterministic)
+``/sweep``     POST    analytical probability over one parameter axis
+``/healthz``   GET     liveness + load snapshot
+``/metrics``   GET     counters, gauges, cache and coalescer statistics
+=============  ======  ====================================================
+
+Four pieces:
+
+* :mod:`repro.service.server` — the event loop: HTTP plumbing, bounded
+  admission (503 + ``Retry-After`` under saturation), process-pool
+  dispatch with crash/timeout resilience, clean signal-driven shutdown;
+* :mod:`repro.service.coalescer` — singleflight request coalescing:
+  concurrent identical queries share one in-flight computation;
+* :mod:`repro.service.cache_policy` — the bounded LRU+TTL response-byte
+  cache (cached responses are byte-identical to cold ones);
+* :mod:`repro.service.handlers` — request validation/canonicalisation
+  and the picklable worker-side compute kernels.
+
+See ``docs/service.md`` for the endpoint schemas and capacity tuning.
+"""
+
+from repro.service.cache_policy import (
+    DEFAULT_CACHE_ENTRIES,
+    DEFAULT_CACHE_TTL,
+    build_response_cache,
+    request_fingerprint,
+)
+from repro.service.coalescer import RequestCoalescer
+from repro.service.handlers import ENDPOINTS, Endpoint, RequestError
+from repro.service.server import AnalysisService, ServiceConfig, run_service
+
+__all__ = [
+    "AnalysisService",
+    "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_CACHE_TTL",
+    "ENDPOINTS",
+    "Endpoint",
+    "RequestCoalescer",
+    "RequestError",
+    "ServiceConfig",
+    "build_response_cache",
+    "request_fingerprint",
+    "run_service",
+]

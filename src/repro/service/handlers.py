@@ -1,0 +1,335 @@
+"""Request validation, canonicalisation, and the picklable compute kernels.
+
+Each compute endpoint is an :class:`Endpoint` pairing two functions:
+
+* ``canonicalize(payload) -> dict`` runs **in the event loop**: it
+  validates the raw JSON body and returns the canonical request — every
+  default filled in, every value coerced through
+  :class:`~repro.core.scenario.Scenario` — raising :class:`RequestError`
+  (HTTP 400) on anything invalid.  Canonicalisation is what makes
+  coalescing and caching effective: two payloads that differ only in key
+  order, numeric spelling (``240`` vs ``240.0`` for a float field), or
+  omitted defaults collapse onto one fingerprint;
+* ``compute(canonical) -> dict`` is a **module-level, picklable**
+  function executed in a worker process (the event loop never blocks on
+  model math).  It must be a pure function of the canonical request so
+  retries after a pool crash are deterministic — the same property
+  :mod:`repro.parallel` relies on for crash recovery.
+
+Request sizes are bounded here (``MAX_TRIALS``, ``MAX_SWEEP_POINTS``) so
+one request cannot monopolise a worker for unbounded time; the service's
+per-request timeout is the backstop, not the first line of defence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.core.scenario import Scenario
+from repro.errors import AnalysisError, ScenarioError, SimulationError
+
+__all__ = [
+    "ENDPOINTS",
+    "Endpoint",
+    "MAX_SWEEP_POINTS",
+    "MAX_TRIALS",
+    "RequestError",
+    "canonicalize_analyze",
+    "canonicalize_simulate",
+    "canonicalize_sweep",
+    "compute_analyze",
+    "compute_simulate",
+    "compute_sweep",
+]
+
+#: Upper bound on Monte Carlo trials per ``/simulate`` request (the
+#: paper's standard run is 10,000).
+MAX_TRIALS = 200_000
+
+#: Upper bound on values per ``/sweep`` request.
+MAX_SWEEP_POINTS = 256
+
+#: Scenario fields a sweep may vary (numeric knobs of the model).
+SWEEPABLE_FIELDS = (
+    "num_sensors",
+    "sensing_range",
+    "target_speed",
+    "sensing_period",
+    "detect_prob",
+    "window",
+    "threshold",
+)
+
+_BOUNDARY_MODES = ("torus", "clip", "interior")
+
+
+class RequestError(ValueError):
+    """Invalid request payload — maps to HTTP 400."""
+
+
+def _require_dict(payload: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise RequestError(f"{what} must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _scenario_from(payload: Dict[str, Any]) -> Scenario:
+    scenario_dict = _require_dict(payload.get("scenario"), "'scenario'")
+    try:
+        return Scenario.from_dict(scenario_dict)
+    except (ScenarioError, TypeError, ValueError) as exc:
+        raise RequestError(f"invalid scenario: {exc}") from exc
+
+
+def _int_field(
+    payload: Dict[str, Any],
+    name: str,
+    default: Optional[int],
+    minimum: int,
+    maximum: Optional[int] = None,
+) -> Optional[int]:
+    value = payload.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(f"'{name}' must be an integer, got {value!r}")
+    if float(value) != int(value):
+        raise RequestError(f"'{name}' must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise RequestError(f"'{name}' must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise RequestError(
+            f"'{name}' must be <= {maximum}, got {value} "
+            "(bound requests so one query cannot monopolise a worker)"
+        )
+    return value
+
+
+def _unknown_keys(payload: Dict[str, Any], allowed: tuple) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise RequestError(
+            f"unknown field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# /analyze — analytical detection probability (M-S-approach, Eq. 13)
+# ----------------------------------------------------------------------
+
+
+def canonicalize_analyze(payload: Any) -> Dict[str, Any]:
+    """Validate an ``/analyze`` body; fill defaults; return canonical form."""
+    payload = _require_dict(payload, "request body")
+    _unknown_keys(
+        payload,
+        ("scenario", "body_truncation", "head_truncation", "substeps", "normalize"),
+    )
+    scenario = _scenario_from(payload)
+    body_truncation = _int_field(payload, "body_truncation", 3, 1, 64)
+    head_truncation = _int_field(payload, "head_truncation", None, 1, 64)
+    substeps = _int_field(payload, "substeps", 1, 1, 16)
+    normalize = payload.get("normalize", True)
+    if not isinstance(normalize, bool):
+        raise RequestError(f"'normalize' must be a boolean, got {normalize!r}")
+    if not scenario.has_body_stage:
+        raise RequestError(
+            "the M-S-approach requires window > ms "
+            f"(window={scenario.window}, ms={scenario.ms})"
+        )
+    return {
+        "scenario": scenario.to_dict(),
+        "body_truncation": body_truncation,
+        "head_truncation": (
+            body_truncation if head_truncation is None else head_truncation
+        ),
+        "substeps": substeps,
+        "normalize": normalize,
+    }
+
+
+def compute_analyze(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side kernel for ``/analyze`` (pure, picklable)."""
+    scenario = Scenario.from_dict(request["scenario"])
+    analysis = MarkovSpatialAnalysis(
+        scenario,
+        body_truncation=request["body_truncation"],
+        head_truncation=request["head_truncation"],
+        substeps=request["substeps"],
+    )
+    probability = analysis.detection_probability(normalize=request["normalize"])
+    return {
+        "detection_probability": probability,
+        "scenario": request["scenario"],
+        "body_truncation": request["body_truncation"],
+        "head_truncation": request["head_truncation"],
+        "substeps": request["substeps"],
+        "normalize": request["normalize"],
+        "ms": scenario.ms,
+        "p_indi": scenario.p_indi,
+    }
+
+
+# ----------------------------------------------------------------------
+# /simulate — Monte Carlo validation run (Section 4 procedure)
+# ----------------------------------------------------------------------
+
+
+def canonicalize_simulate(payload: Any) -> Dict[str, Any]:
+    """Validate a ``/simulate`` body; fill defaults; return canonical form."""
+    payload = _require_dict(payload, "request body")
+    _unknown_keys(payload, ("scenario", "trials", "seed", "boundary"))
+    scenario = _scenario_from(payload)
+    trials = _int_field(payload, "trials", 2_000, 1, MAX_TRIALS)
+    seed = _int_field(payload, "seed", 20080617, 0)
+    boundary = payload.get("boundary", "torus")
+    if boundary not in _BOUNDARY_MODES:
+        raise RequestError(
+            f"'boundary' must be one of {_BOUNDARY_MODES}, got {boundary!r}"
+        )
+    return {
+        "scenario": scenario.to_dict(),
+        "trials": trials,
+        "seed": seed,
+        "boundary": boundary,
+    }
+
+
+def compute_simulate(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side kernel for ``/simulate`` (deterministic in the seed)."""
+    from repro.simulation.runner import MonteCarloSimulator
+
+    scenario = Scenario.from_dict(request["scenario"])
+    result = MonteCarloSimulator(
+        scenario,
+        trials=request["trials"],
+        seed=request["seed"],
+        boundary=request["boundary"],
+    ).run()
+    low, high = result.confidence_interval()
+    return {
+        "detection_probability": result.detection_probability,
+        "standard_error": result.standard_error(),
+        "confidence_interval": [low, high],
+        "trials": request["trials"],
+        "seed": request["seed"],
+        "boundary": request["boundary"],
+        "scenario": request["scenario"],
+    }
+
+
+# ----------------------------------------------------------------------
+# /sweep — analytical detection probability over one parameter axis
+# ----------------------------------------------------------------------
+
+
+def canonicalize_sweep(payload: Any) -> Dict[str, Any]:
+    """Validate a ``/sweep`` body; fill defaults; return canonical form."""
+    payload = _require_dict(payload, "request body")
+    _unknown_keys(
+        payload,
+        ("scenario", "parameter", "values", "body_truncation", "substeps"),
+    )
+    base = _scenario_from(payload)
+    parameter = payload.get("parameter")
+    if parameter not in SWEEPABLE_FIELDS:
+        raise RequestError(
+            f"'parameter' must be one of {sorted(SWEEPABLE_FIELDS)}, "
+            f"got {parameter!r}"
+        )
+    values = payload.get("values")
+    if not isinstance(values, (list, tuple)) or not values:
+        raise RequestError("'values' must be a non-empty list")
+    if len(values) > MAX_SWEEP_POINTS:
+        raise RequestError(
+            f"'values' must have <= {MAX_SWEEP_POINTS} points, got {len(values)}"
+        )
+    body_truncation = _int_field(payload, "body_truncation", 3, 1, 64)
+    substeps = _int_field(payload, "substeps", 1, 1, 16)
+    base_dict = base.to_dict()
+    canonical_values: List[Any] = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RequestError(f"sweep values must be numbers, got {value!r}")
+        point = dict(base_dict)
+        point[parameter] = value
+        try:
+            point_scenario = Scenario.from_dict(point)
+        except ScenarioError as exc:
+            raise RequestError(
+                f"sweep value {value!r} for {parameter!r} is invalid: {exc}"
+            ) from exc
+        if not point_scenario.has_body_stage:
+            raise RequestError(
+                f"sweep value {value!r} for {parameter!r} leaves window <= ms"
+            )
+        canonical_values.append(point_scenario.to_dict()[parameter])
+    return {
+        "scenario": base_dict,
+        "parameter": parameter,
+        "values": canonical_values,
+        "body_truncation": body_truncation,
+        "substeps": substeps,
+    }
+
+
+def compute_sweep(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side kernel for ``/sweep``.
+
+    The per-point analyses share the worker's process-wide analysis
+    cache, so a threshold sweep computes its geometry exactly once (the
+    same reuse ``repro.experiments.sweeps`` gets).
+    """
+    base = request["scenario"]
+    rows = []
+    for value in request["values"]:
+        point = dict(base)
+        point[request["parameter"]] = value
+        scenario = Scenario.from_dict(point)
+        analysis = MarkovSpatialAnalysis(
+            scenario,
+            body_truncation=request["body_truncation"],
+            substeps=request["substeps"],
+        )
+        rows.append(
+            {
+                request["parameter"]: value,
+                "detection_probability": analysis.detection_probability(),
+            }
+        )
+    return {
+        "parameter": request["parameter"],
+        "rows": rows,
+        "body_truncation": request["body_truncation"],
+        "substeps": request["substeps"],
+        "scenario": base,
+    }
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One compute endpoint: path, loop-side validator, worker-side kernel."""
+
+    path: str
+    name: str
+    canonicalize: Callable[[Any], Dict[str, Any]]
+    compute: Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+#: The service's compute endpoints, keyed by path.
+ENDPOINTS: Dict[str, Endpoint] = {
+    endpoint.path: endpoint
+    for endpoint in (
+        Endpoint("/analyze", "analyze", canonicalize_analyze, compute_analyze),
+        Endpoint("/simulate", "simulate", canonicalize_simulate, compute_simulate),
+        Endpoint("/sweep", "sweep", canonicalize_sweep, compute_sweep),
+    )
+}
+
+#: Exceptions from the model layers that indicate a bad request rather
+#: than a server fault (raised by kernels on semantically-invalid
+#: parameter combinations canonicalisation cannot fully pre-check).
+MODEL_ERRORS = (AnalysisError, ScenarioError, SimulationError)

@@ -1,0 +1,545 @@
+"""The asyncio HTTP server: admission control, coalescing, caching, dispatch.
+
+``repro serve`` turns the library into a long-lived analysis service.
+One event loop owns all bookkeeping; model math never runs on it — every
+compute request is dispatched to a process pool, so ``/healthz`` stays
+responsive while a 200k-trial Monte Carlo runs.
+
+Request lifecycle for a compute endpoint (``/analyze``, ``/simulate``,
+``/sweep``)::
+
+    parse JSON -> canonicalize (400 on bad input)
+      -> fingerprint -> response-cache lookup --hit--> cached bytes
+      -> admission check --full--> 503 + Retry-After
+      -> coalescer singleflight --follower--> leader's bytes
+      -> leader: process pool -> serialise once -> cache store -> bytes
+
+Resilience reuses the semantics of :mod:`repro.parallel`'s resilient
+executor: a worker crash (``BrokenProcessPool``) rebuilds the pool and
+retries the request up to ``max_retries`` times — kernels are pure
+functions of the canonical request, so a retry computes the identical
+answer; a request exceeding ``request_timeout`` *abandons* the pool
+(workers terminated, never joined — a hung worker must not wedge the
+server) and answers 504.
+
+Backpressure: at most ``queue_limit`` compute requests are in the house
+at once (queued + running + coalesced followers).  Beyond that the
+server answers **503 with ``Retry-After``** instead of queueing without
+bound — admission control, not collapse.  Cache hits and the control
+endpoints (``/healthz``, ``/metrics``) bypass admission.
+
+Observability: every counter and gauge mirrors into the active
+:mod:`repro.obs` instrumentation (``service.*`` namespace), so ``repro
+serve --trace`` manifests carry request/coalescing/cache totals; the
+live values are always available from ``GET /metrics`` even without a
+trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import obs
+from repro.cache import analysis_cache
+from repro.parallel import _abandon_pool
+from repro.service import cache_policy
+from repro.service.cache_policy import build_response_cache, request_fingerprint
+from repro.service.coalescer import RequestCoalescer
+from repro.service.handlers import ENDPOINTS, MODEL_ERRORS, RequestError
+
+__all__ = ["AnalysisService", "ServiceConfig", "run_service"]
+
+
+@dataclass
+class ServiceConfig:
+    """Capacity and policy knobs for one :class:`AnalysisService`.
+
+    Args:
+        host: bind address.
+        port: bind port; ``0`` lets the OS choose (the chosen port is
+            announced on stdout and available as ``service.port``).
+        workers: process-pool size for compute kernels.
+        queue_limit: maximum compute requests in the house at once
+            (running + queued + coalesced followers); excess requests
+            get 503 + ``Retry-After``.
+        cache_entries: response-cache LRU bound.
+        cache_ttl: optional response time-to-live in seconds.
+        request_timeout: per-request running-time bound in seconds; an
+            overdue request abandons the pool and answers 504.
+        max_retries: pool rebuilds per request after worker crashes.
+        max_body_bytes: request-body size cap (413 beyond it).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 1
+    queue_limit: int = 64
+    cache_entries: int = cache_policy.DEFAULT_CACHE_ENTRIES
+    cache_ttl: Optional[float] = cache_policy.DEFAULT_CACHE_TTL
+    request_timeout: float = 60.0
+    max_retries: int = 2
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+class _HttpError(Exception):
+    """An error with a definite HTTP status (and optional extra headers)."""
+
+    def __init__(self, status: int, message: str, headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _response_bytes(
+    status: int, body: bytes, headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_body(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+class _ServiceMetrics:
+    """Always-on counters/gauges, mirrored into :func:`repro.obs.current`.
+
+    The service must expose ``/metrics`` even when no instrumentation is
+    active, so it keeps its own thread-safe table and *additionally*
+    increments the active instrumentation (``service.<name>``) so traced
+    runs carry the totals in their manifest.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+        ob = obs.current()
+        if ob.enabled:
+            ob.incr(f"service.{name}", amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+        ob = obs.current()
+        if ob.enabled:
+            ob.gauge(f"service.{name}", value)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, float]]:
+        with self._lock:
+            return dict(self._counters), dict(self._gauges)
+
+
+class AnalysisService:
+    """The serving layer: one event loop, one process pool, one cache.
+
+    Args:
+        config: capacity/policy knobs.
+        endpoints: compute endpoint table; defaults to
+            :data:`repro.service.handlers.ENDPOINTS`.  Tests inject
+            stub endpoints here to control compute latency.
+        executor_factory: builds the compute executor; defaults to a
+            ``ProcessPoolExecutor(config.workers)``.  Tests inject a
+            thread pool so counting stubs can observe invocations.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        endpoints=None,
+        executor_factory: Optional[Callable[[], Any]] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self._endpoints = dict(ENDPOINTS if endpoints is None else endpoints)
+        self._executor_factory = executor_factory or (
+            lambda: ProcessPoolExecutor(max_workers=self.config.workers)
+        )
+        self._coalescer = RequestCoalescer()
+        self._cache = build_response_cache(
+            max_entries=self.config.cache_entries, ttl=self.config.cache_ttl
+        )
+        self._metrics = _ServiceMetrics()
+        self._pool = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._admitted = 0
+        self._started_at = time.monotonic()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def metrics(self) -> _ServiceMetrics:
+        """The service's always-on metrics table."""
+        return self._metrics
+
+    @property
+    def response_cache(self):
+        """The bounded LRU+TTL response cache."""
+        return self._cache
+
+    async def start(self) -> None:
+        """Bind the listening socket and spin up the compute pool."""
+        if self._pool is None:
+            self._pool = self._executor_factory()
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._on_client, host=self.config.host, port=self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        """Stop listening, cancel in-flight handlers, abandon the pool.
+
+        Clean shutdown must not join possibly-hung workers — the pool is
+        abandoned exactly as :mod:`repro.parallel` abandons an overdue
+        pool (terminate, never join), so a mid-request SIGTERM exits
+        promptly.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        if self._pool is not None:
+            _abandon_pool(self._pool)
+            self._pool = None
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _HttpError as exc:
+                self._metrics.incr(f"responses.{exc.status}")
+                status, headers, payload = (
+                    exc.status,
+                    exc.headers,
+                    _json_body({"error": str(exc)}),
+                )
+            else:
+                status, headers, payload = await self.dispatch(
+                    method, path, body
+                )
+            writer.write(_response_bytes(status, payload, headers))
+            await writer.drain()
+        except (asyncio.CancelledError, ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionError) as exc:
+            raise _HttpError(400, f"malformed request line: {exc}") from exc
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length")
+        if length < 0:
+            raise _HttpError(400, "invalid Content-Length")
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body
+
+    async def dispatch(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """In-process request dispatch: ``(status, headers, body bytes)``.
+
+        The HTTP layer is a thin shell around this coroutine; tests and
+        embedders can drive the full compute path (validation,
+        caching, coalescing, admission, pool dispatch) without sockets.
+        Never raises for request-level failures — they come back as
+        status codes, exactly as a socket client would see them.
+        """
+        if self._pool is None and self._server is None:
+            # Socketless embedding: lazily build the compute pool that
+            # start() would have created.
+            self._pool = self._executor_factory()
+        try:
+            return await self._route(method.upper(), path, body)
+        except _HttpError as exc:
+            self._metrics.incr(f"responses.{exc.status}")
+            return exc.status, exc.headers, _json_body({"error": str(exc)})
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # unexpected: never kill the server
+            self._metrics.incr("errors")
+            self._metrics.incr("responses.500")
+            return 500, {}, _json_body({"error": f"internal error: {exc}"})
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        self._metrics.incr("requests")
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET /healthz")
+            self._metrics.incr("responses.200")
+            return 200, {}, _json_body(self._health())
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET /metrics")
+            self._metrics.incr("responses.200")
+            return 200, {}, _json_body(self._metrics_payload())
+        endpoint = self._endpoints.get(path)
+        if endpoint is None:
+            raise _HttpError(404, f"unknown path {path!r}")
+        if method != "POST":
+            raise _HttpError(405, f"use POST {path}")
+        body_bytes, cache_state = await self._handle_compute(endpoint, body)
+        self._metrics.incr("responses.200")
+        return 200, {"X-Repro-Cache": cache_state}, body_bytes
+
+    # -- compute path --------------------------------------------------
+
+    async def _handle_compute(
+        self, endpoint, raw_body: bytes
+    ) -> Tuple[bytes, str]:
+        self._metrics.incr(f"requests.{endpoint.name}")
+        try:
+            payload = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        try:
+            canonical = endpoint.canonicalize(payload)
+        except RequestError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        key = request_fingerprint(endpoint.path, canonical)
+        found, cached = self._cache.lookup(key)
+        if found:
+            self._metrics.incr("cache_served")
+            return cached, "hit"
+        if self._admitted >= self.config.queue_limit:
+            self._metrics.incr("rejected")
+            raise _HttpError(
+                503,
+                f"admission queue full ({self.config.queue_limit} requests "
+                "in flight); retry shortly",
+                headers={"Retry-After": "1"},
+            )
+        self._admitted += 1
+        self._update_load_gauges()
+        try:
+            body_bytes, coalesced = await self._coalescer.run(
+                key, lambda: self._compute_body(endpoint, key, canonical)
+            )
+        finally:
+            self._admitted -= 1
+            self._update_load_gauges()
+        if coalesced:
+            self._metrics.incr("coalesced")
+            return body_bytes, "coalesced"
+        return body_bytes, "miss"
+
+    def _update_load_gauges(self) -> None:
+        self._metrics.gauge("inflight", self._admitted)
+        self._metrics.gauge(
+            "queue_depth", max(0, self._admitted - self.config.workers)
+        )
+
+    async def _compute_body(self, endpoint, key: str, canonical: Dict[str, Any]) -> bytes:
+        self._metrics.incr("computations")
+        try:
+            result = await self._run_in_pool(endpoint.compute, canonical)
+        except MODEL_ERRORS as exc:
+            raise _HttpError(400, f"model rejected the request: {exc}") from exc
+        body = _json_body(result)
+        # Store the exact bytes: a later cache hit is byte-identical to
+        # this cold response, and followers of this flight share them.
+        return self._cache.store(key, body)
+
+    async def _run_in_pool(self, fn, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one kernel to the pool with parallel-style resilience."""
+        loop = asyncio.get_running_loop()
+        crashes = 0
+        while True:
+            pool = self._pool
+            if pool is None:
+                raise _HttpError(503, "service is shutting down")
+            try:
+                return await asyncio.wait_for(
+                    loop.run_in_executor(pool, fn, request),
+                    timeout=self.config.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                # A worker past its deadline may be genuinely hung:
+                # abandon the pool (terminate, never join) exactly like
+                # repro.parallel's overdue-task path, then 504.
+                self._metrics.incr("timeouts")
+                self._replace_pool(pool, abandon=True)
+                raise _HttpError(
+                    504,
+                    f"request exceeded its {self.config.request_timeout} s "
+                    "timeout; the worker pool was recycled",
+                ) from None
+            except BrokenProcessPool:
+                # Deterministic kernels make the retry exact — same
+                # canonical request, same answer (the repro.parallel
+                # crash-recovery contract).
+                crashes += 1
+                self._metrics.incr("pool_crashes")
+                self._replace_pool(pool, abandon=False)
+                if crashes > self.config.max_retries:
+                    raise _HttpError(
+                        500,
+                        f"worker pool crashed {crashes} times on this "
+                        "request; giving up",
+                    ) from None
+
+    def _replace_pool(self, old_pool, abandon: bool) -> None:
+        if self._pool is old_pool:
+            self._pool = self._executor_factory()
+        if abandon:
+            _abandon_pool(old_pool)
+        else:
+            try:
+                old_pool.shutdown(wait=False)
+            except Exception:
+                pass
+
+    # -- control endpoints ---------------------------------------------
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "inflight": self._admitted,
+            "queue_limit": self.config.queue_limit,
+            "workers": self.config.workers,
+        }
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        counters, gauges = self._metrics.snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "inflight": self._admitted,
+            "coalescer_inflight": self._coalescer.inflight,
+            "response_cache": self._cache.stats(),
+            "analysis_cache": analysis_cache().stats(),
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+
+
+async def _serve_until_signalled(config: ServiceConfig) -> int:
+    service = AnalysisService(config)
+    await service.start()
+    print(
+        f"repro-service listening on {service.host}:{service.port}",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-Unix platforms fall back to KeyboardInterrupt
+    try:
+        await stop.wait()
+    finally:
+        await service.stop()
+    return 0
+
+
+def run_service(config: Optional[ServiceConfig] = None) -> int:
+    """Blocking entry point behind ``repro serve``; returns an exit code.
+
+    Runs until SIGINT/SIGTERM, then shuts down cleanly: the listener
+    closes, in-flight handlers are cancelled, and the worker pool is
+    abandoned rather than joined (a hung worker must not block exit).
+    """
+    config = config or ServiceConfig()
+    try:
+        return asyncio.run(_serve_until_signalled(config))
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        return 0

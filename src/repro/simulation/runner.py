@@ -18,6 +18,7 @@ Boundary modes (DESIGN.md §2):
 
 from __future__ import annotations
 
+import functools
 import inspect
 import time
 from dataclasses import dataclass, field as dataclass_field
@@ -45,20 +46,56 @@ _BOUNDARY_MODES = ("torus", "clip", "interior")
 def _deployment_is_batched(deployment) -> bool:
     """Whether a deployment callable supports the batched calling convention.
 
-    A callable whose signature has a parameter named ``batch`` is called
-    once per vectorised block as ``deployment(field, num_sensors, rng,
-    batch)`` and must return ``(batch, num_sensors, 2)`` positions; any
-    other signature falls back to the legacy one-call-per-trial loop.
+    A callable that accepts a parameter named ``batch`` is called once
+    per vectorised block as ``deployment(field, num_sensors, rng,
+    batch=batch)`` and must return ``(batch, num_sensors, 2)`` positions;
+    any other signature falls back to the legacy one-call-per-trial loop.
+
+    ``functools.partial`` chains and bound methods are unwrapped before
+    signature inspection, so the picklable idioms parallel execution
+    pushes users toward — ``partial(deploy_grid_batched, jitter=0.1)``,
+    ``partial(Strategy.place, strategy)``, ``strategy.place`` — are
+    recognised even when ``inspect.signature`` cannot resolve the outer
+    callable, and a partial that *pre-binds* ``batch`` by keyword stays
+    batched (the runner's keyword argument overrides the bound default
+    instead of colliding with it positionally).
     """
+    fn = deployment
+    consumed_positional = 0
+    while True:
+        if isinstance(fn, functools.partial):
+            consumed_positional += len(fn.args)
+            fn = fn.func
+        elif inspect.ismethod(fn):
+            # Bound method: the underlying function's first parameter
+            # (self) is already consumed by the binding.
+            consumed_positional += 1
+            fn = fn.__func__
+        else:
+            break
     try:
-        signature = inspect.signature(deployment)
+        signature = inspect.signature(fn)
     except (TypeError, ValueError):
         return False
-    parameter = signature.parameters.get("batch")
-    return parameter is not None and parameter.kind in (
-        inspect.Parameter.POSITIONAL_OR_KEYWORD,
-        inspect.Parameter.KEYWORD_ONLY,
-    )
+    remaining = list(signature.parameters.values())
+    # Positional pre-binding consumes leading positional parameters.
+    dropped = 0
+    kept = []
+    for parameter in remaining:
+        if dropped < consumed_positional and parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            dropped += 1
+            continue
+        kept.append(parameter)
+    for parameter in kept:
+        if parameter.name == "batch" and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
 
 
 @dataclass(frozen=True)
@@ -687,9 +724,12 @@ class MonteCarloSimulator:
                 size=(batch, scenario.num_sensors, 2),
             )
         if _deployment_is_batched(self._deployment):
+            # `batch` goes by keyword: it overrides a partial's pre-bound
+            # value and reaches keyword-only parameters, neither of which
+            # a positional fourth argument can do.
             positions = np.asarray(
                 self._deployment(
-                    scenario.field, scenario.num_sensors, rng, batch
+                    scenario.field, scenario.num_sensors, rng, batch=batch
                 ),
                 dtype=float,
             )

@@ -1,13 +1,25 @@
-"""Shared fixtures: scenarios at several scales."""
+"""Shared fixtures (scenarios at several scales) and hypothesis profiles."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.scenario import Scenario
 from repro.deployment.field import SensorField
 from repro.experiments.presets import onr_scenario, small_scenario
+
+# One pinned hypothesis configuration for every property suite, so local
+# runs and CI shrink/replay identically.  CI machines are slow and noisy:
+# the wall-clock `deadline` check is disabled there (it flakes on loaded
+# runners, not on real regressions) and the example budget is fixed so a
+# green run always means the same amount of search.
+settings.register_profile("ci", deadline=None, max_examples=100, print_blob=True)
+settings.register_profile("dev", deadline=1000)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

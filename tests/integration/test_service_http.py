@@ -1,0 +1,226 @@
+"""Integration: ``repro serve`` over real sockets, in a real subprocess.
+
+Boots the service exactly as an operator would (``python -m
+repro.experiments.cli serve --port 0``), drives it with plain
+``http.client`` requests, and asserts clean signal-driven shutdown —
+including shutdown with a request still computing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SCENARIO = {
+    "field_width": 10_000.0,
+    "field_height": 10_000.0,
+    "num_sensors": 240,
+    "sensing_range": 600.0,
+    "target_speed": 10.0,
+    "sensing_period": 30.0,
+    "detect_prob": 0.9,
+    "window": 10,
+    "threshold": 3,
+}
+
+
+def _spawn_server(*extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--port",
+            "0",
+            *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if "repro-service listening on" in line:
+            break
+        if process.poll() is not None:
+            break
+    else:  # pragma: no cover - diagnostic path
+        pass
+    if "repro-service listening on" not in line:
+        stderr = process.stderr.read()
+        process.kill()
+        raise AssertionError(f"server never announced itself; stderr:\n{stderr}")
+    address = line.rsplit(" ", 1)[-1].strip()
+    host, _, port = address.rpartition(":")
+    return process, host, int(port)
+
+
+def _shutdown(process):
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    try:
+        return process.wait(timeout=30)
+    finally:
+        if process.poll() is None:  # pragma: no cover - hung server
+            process.kill()
+
+
+def _request(host, port, method, path, payload=None):
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+@pytest.mark.slow
+class TestServeEndToEnd:
+    def test_full_request_cycle_then_clean_sigterm(self):
+        process, host, port = _spawn_server()
+        try:
+            status, _, body = _request(host, port, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+            analyze = {"scenario": SCENARIO, "body_truncation": 3}
+            status, headers, cold = _request(host, port, "POST", "/analyze", analyze)
+            assert status == 200
+            assert headers["X-Repro-Cache"] == "miss"
+            result = json.loads(cold)
+            assert 0.0 <= result["detection_probability"] <= 1.0
+
+            status, headers, warm = _request(host, port, "POST", "/analyze", analyze)
+            assert status == 200
+            assert headers["X-Repro-Cache"] == "hit"
+            assert warm == cold, "cached response must be byte-identical"
+
+            status, _, body = _request(
+                host,
+                port,
+                "POST",
+                "/simulate",
+                {"scenario": SCENARIO, "trials": 200, "seed": 7},
+            )
+            assert status == 200
+            simulated = json.loads(body)
+            low, high = simulated["confidence_interval"]
+            assert low <= simulated["detection_probability"] <= high
+
+            status, _, body = _request(host, port, "GET", "/metrics")
+            assert status == 200
+            metrics = json.loads(body)
+            assert metrics["counters"]["computations"] == 2
+            assert metrics["counters"]["cache_served"] == 1
+            assert metrics["response_cache"]["lookups"] == (
+                metrics["response_cache"]["hits"]
+                + metrics["response_cache"]["misses"]
+            )
+
+            status, _, body = _request(host, port, "POST", "/analyze", {"scenario": 3})
+            assert status == 400
+        finally:
+            returncode = _shutdown(process)
+        assert returncode == 0
+
+    def test_sigterm_mid_request_exits_cleanly(self):
+        process, host, port = _spawn_server("--request-timeout", "120")
+        try:
+            started = threading.Event()
+
+            def slow_request():
+                started.set()
+                try:
+                    _request(
+                        host,
+                        port,
+                        "POST",
+                        "/simulate",
+                        {"scenario": SCENARIO, "trials": 60_000, "seed": 1},
+                    )
+                except Exception:
+                    # The connection dying mid-shutdown is the expected
+                    # outcome; the assertion is on the server's exit.
+                    pass
+
+            worker = threading.Thread(target=slow_request, daemon=True)
+            worker.start()
+            assert started.wait(timeout=10)
+            time.sleep(1.0)  # let the request reach the worker pool
+        finally:
+            returncode = _shutdown(process)
+        assert returncode == 0, "SIGTERM with a request in flight must exit 0"
+
+    def test_backpressure_from_the_wire(self):
+        process, host, port = _spawn_server(
+            "--queue-limit", "1", "--request-timeout", "120"
+        )
+        try:
+            results = []
+            lock = threading.Lock()
+
+            def fire(seed):
+                try:
+                    status, headers, _ = _request(
+                        host,
+                        port,
+                        "POST",
+                        "/simulate",
+                        {"scenario": SCENARIO, "trials": 40_000, "seed": seed},
+                    )
+                    with lock:
+                        results.append((status, headers))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    with lock:
+                        results.append(("error", repr(exc)))
+
+            # Distinct seeds: distinct fingerprints, so no coalescing —
+            # the second concurrent request must overflow queue_limit=1.
+            threads = [
+                threading.Thread(target=fire, args=(seed,)) for seed in (1, 2, 3)
+            ]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.3)
+            for thread in threads:
+                thread.join(timeout=120)
+
+            statuses = sorted(
+                status for status, _ in results if isinstance(status, int)
+            )
+            assert len(statuses) == 3, f"unexpected results: {results}"
+            assert statuses.count(503) >= 1, f"no backpressure seen: {results}"
+            assert statuses.count(200) >= 1, f"no request admitted: {results}"
+            for status, headers in results:
+                if status == 503:
+                    assert headers["Retry-After"] == "1"
+
+            # The saturated server is still healthy afterwards.
+            status, _, body = _request(host, port, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+        finally:
+            returncode = _shutdown(process)
+        assert returncode == 0

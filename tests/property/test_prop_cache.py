@@ -1,0 +1,114 @@
+"""Property-based tests for the bounded LRU+TTL analysis cache.
+
+The counter contract under ANY operation sequence:
+
+* ``lookups == hits + misses`` — every lookup is counted exactly once;
+* counters are monotone non-decreasing (until ``clear()``);
+* ``len(cache) <= max_entries`` at all times;
+* a hit returns the stored value, a miss returns the sentinel tuple.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AnalysisCache
+
+
+def operations():
+    """A random sequence of cache operations over a small key space."""
+    key = st.integers(0, 7)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("lookup"), key),
+            st.tuples(st.just("store"), key),
+            st.tuples(st.just("get_or_compute"), key),
+            st.tuples(st.just("advance"), st.floats(0.0, 3.0)),
+        ),
+        max_size=60,
+    )
+
+
+@given(
+    ops=operations(),
+    max_entries=st.one_of(st.none(), st.integers(1, 6)),
+    ttl=st.one_of(st.none(), st.floats(0.5, 5.0)),
+)
+@settings(max_examples=200)
+def test_counters_stay_self_consistent(ops, max_entries, ttl):
+    clock = [0.0]
+    cache = AnalysisCache(max_entries=max_entries, ttl=ttl, clock=lambda: clock[0])
+    model = {}  # key -> value we last stored (ignoring TTL/eviction)
+    previous = (0, 0, 0, 0, 0)
+
+    for op, arg in ops:
+        if op == "advance":
+            clock[0] += arg
+            continue
+        if op == "lookup":
+            found, value = cache.lookup(arg)
+            if found:
+                assert value == model[arg]
+        elif op == "store":
+            model[arg] = ("value", arg, cache.lookups)
+            cache.store(arg, model[arg])
+            if arg in cache:  # store may race-lose only across threads
+                found, value = cache.lookup(arg)
+                if found:
+                    model[arg] = value
+        else:
+            value = cache.get_or_compute(arg, lambda a=arg: ("computed", a))
+            model[arg] = value
+
+        # The invariants hold after every single operation.
+        assert cache.lookups == cache.hits + cache.misses
+        current = (
+            cache.lookups,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.expirations,
+        )
+        assert all(now >= before for now, before in zip(current, previous))
+        previous = current
+        if max_entries is not None:
+            assert len(cache) <= max_entries
+
+    stats = cache.stats()
+    assert stats["lookups"] == stats["hits"] + stats["misses"]
+    assert stats["hit_rate"] == pytest.approx(
+        stats["hits"] / stats["lookups"] if stats["lookups"] else 0.0
+    )
+
+
+@given(
+    keys=st.lists(st.integers(0, 20), min_size=1, max_size=40),
+    max_entries=st.integers(1, 5),
+)
+@settings(max_examples=100)
+def test_eviction_count_matches_insertions_minus_occupancy(keys, max_entries):
+    cache = AnalysisCache(max_entries=max_entries)
+    inserted = 0
+    for key in keys:
+        if key not in cache:
+            inserted += 1
+        cache.store(key, key)
+        assert len(cache) <= max_entries
+    # Without a TTL, every insertion either occupies a slot or evicted one.
+    assert cache.evictions == inserted - len(cache)
+    assert cache.expirations == 0
+
+
+@given(ttl=st.floats(0.1, 10.0), gap=st.floats(0.0, 20.0))
+@settings(max_examples=100)
+def test_ttl_boundary_is_exact(ttl, gap):
+    clock = [0.0]
+    cache = AnalysisCache(ttl=ttl, clock=lambda: clock[0])
+    cache.store("k", "v")
+    clock[0] += gap
+    found, _ = cache.lookup("k")
+    assert found == (gap < ttl)
+    assert cache.lookups == cache.hits + cache.misses == 1
+    assert cache.expirations == (0 if found else 1)

@@ -1,0 +1,158 @@
+"""Property-based tests for the serving layer's coalescing guarantees.
+
+The headline contract, for any burst size: N concurrent identical
+requests perform **exactly one** underlying computation, and every
+client receives **byte-identical** payloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    AnalysisService,
+    Endpoint,
+    ServiceConfig,
+    request_fingerprint,
+)
+
+
+class _GatedCompute:
+    """A picklable-shaped stub the test releases explicitly."""
+
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+        self.release = threading.Event()
+
+    def __call__(self, request):
+        with self._lock:
+            self.calls += 1
+        if not self.release.wait(timeout=10):
+            raise RuntimeError("gate never released")
+        return {"request": request, "calls": self.calls}
+
+
+def _service(gate) -> AnalysisService:
+    endpoint = Endpoint(
+        "/stub",
+        "stub",
+        canonicalize=lambda payload: dict(payload),
+        compute=gate,
+    )
+    return AnalysisService(
+        ServiceConfig(port=0, queue_limit=256),
+        endpoints={"/stub": endpoint},
+        executor_factory=lambda: ThreadPoolExecutor(max_workers=1),
+    )
+
+
+json_scalars = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(-100.0, 100.0, allow_nan=False),
+    st.text(max_size=8),
+    st.booleans(),
+)
+
+
+@given(
+    burst=st.integers(2, 32),
+    payload=st.dictionaries(st.text(min_size=1, max_size=6), json_scalars, max_size=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_concurrent_identical_requests_compute_once(burst, payload):
+    async def main():
+        gate = _GatedCompute()
+        service = _service(gate)
+        body = json.dumps(payload).encode()
+        tasks = [
+            asyncio.ensure_future(service.dispatch("POST", "/stub", body))
+            for _ in range(burst)
+        ]
+        # Every dispatch reaches the coalescer in one scheduling pass
+        # (no awaits precede it), so after the tasks have run once they
+        # are all parked on the shared flight.
+        while service.metrics.counter("requests.stub") < burst:
+            await asyncio.sleep(0.001)
+        gate.release.set()
+        results = await asyncio.gather(*tasks)
+        service._pool.shutdown(wait=True)
+        return gate, service, results
+
+    gate, service, results = asyncio.run(main())
+    statuses = {status for status, _, _ in results}
+    bodies = {body for _, _, body in results}
+    assert statuses == {200}
+    assert len(bodies) == 1, "all clients must see byte-identical payloads"
+    assert gate.calls == 1, "exactly one underlying computation"
+    assert service.metrics.counter("computations") == 1
+    # Conservation: leader + followers + cache hits account for the burst.
+    assert (
+        service.metrics.counter("computations")
+        + service.metrics.counter("coalesced")
+        + service.metrics.counter("cache_served")
+        == burst
+    )
+
+
+@given(
+    burst=st.integers(2, 16),
+    repeats=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_repeated_bursts_hit_the_cache_after_the_first(burst, repeats):
+    async def main():
+        gate = _GatedCompute()
+        gate.release.set()
+        service = _service(gate)
+        body = json.dumps({"v": 1}).encode()
+        seen = set()
+        for _ in range(repeats):
+            results = await asyncio.gather(
+                *[service.dispatch("POST", "/stub", body) for _ in range(burst)]
+            )
+            seen.update(payload for _, _, payload in results)
+        service._pool.shutdown(wait=True)
+        return gate, service, seen
+
+    gate, service, seen = asyncio.run(main())
+    assert len(seen) == 1
+    assert gate.calls == 1, "later bursts are served from cache"
+    total = burst * repeats
+    assert (
+        service.metrics.counter("computations")
+        + service.metrics.counter("coalesced")
+        + service.metrics.counter("cache_served")
+        == total
+    )
+    cache = service.response_cache
+    assert cache.lookups == cache.hits + cache.misses
+
+
+@given(
+    payload=st.dictionaries(st.text(min_size=1, max_size=6), json_scalars, max_size=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_fingerprint_is_invariant_to_key_order(payload):
+    shuffled = dict(reversed(list(payload.items())))
+    assert request_fingerprint("/stub", payload) == request_fingerprint(
+        "/stub", shuffled
+    )
+
+
+@given(
+    left=st.dictionaries(st.text(min_size=1, max_size=6), json_scalars, max_size=4),
+    right=st.dictionaries(st.text(min_size=1, max_size=6), json_scalars, max_size=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_distinct_canonical_requests_get_distinct_fingerprints(left, right):
+    same = request_fingerprint("/stub", left) == request_fingerprint("/stub", right)
+    assert same == (
+        json.dumps(left, sort_keys=True) == json.dumps(right, sort_keys=True)
+    )

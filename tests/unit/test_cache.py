@@ -60,8 +60,85 @@ class TestAnalysisCache:
             "entries": 1,
             "hits": 0,
             "misses": 1,
+            "lookups": 1,
+            "evictions": 0,
+            "expirations": 0,
             "hit_rate": 0.0,
+            "max_entries": None,
+            "ttl": None,
         }
+
+    def test_lookups_always_equal_hits_plus_misses(self):
+        cache = AnalysisCache(max_entries=2)
+        for key in ("a", "b", "a", "c", "d", "b"):
+            cache.get_or_compute(key, lambda: key)
+            assert cache.lookups == cache.hits + cache.misses
+
+    def test_lru_eviction_respects_recency_not_insertion(self):
+        cache = AnalysisCache(max_entries=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 0)  # refreshes "a"
+        cache.get_or_compute("c", lambda: 3)  # evicts "b", the LRU entry
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_ttl_expires_entries(self):
+        clock = [0.0]
+        cache = AnalysisCache(ttl=10.0, clock=lambda: clock[0])
+        assert cache.get_or_compute("a", lambda: 1) == 1
+        clock[0] = 5.0
+        assert cache.get_or_compute("a", lambda: 2) == 1  # still live
+        clock[0] = 20.0
+        assert "a" not in cache
+        assert cache.get_or_compute("a", lambda: 3) == 3  # expired: recompute
+        assert cache.expirations == 1
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert cache.lookups == 3
+
+    def test_store_first_writer_wins(self):
+        cache = AnalysisCache()
+        assert cache.store("k", 1) == 1
+        assert cache.store("k", 2) == 1
+        found, value = cache.lookup("k")
+        assert found and value == 1
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            AnalysisCache(ttl=0.0)
+
+    def test_racing_compute_keeps_counters_consistent(self):
+        # Two threads miss the same key: each charged one miss (they both
+        # looked and found nothing), one value wins, lookups == hits+misses.
+        import threading
+
+        cache = AnalysisCache()
+        barrier = threading.Barrier(2)
+        stored = []
+
+        def compute_slow(tag):
+            def compute():
+                barrier.wait(timeout=5)
+                return tag
+
+            return compute
+
+        def worker(tag):
+            stored.append(cache.get_or_compute("k", compute_slow(tag)))
+
+        threads = [
+            threading.Thread(target=worker, args=(tag,)) for tag in ("x", "y")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(stored)) == 1  # everyone saw the winning value
+        assert cache.misses == 2 and cache.hits == 0
+        assert cache.lookups == 2
+        assert len(cache) == 1
 
 
 class TestCachedArray:

@@ -228,6 +228,99 @@ class TestMonteCarloSimulator:
         ).run()
         assert calls == [100, 100, 50]
 
+    def test_batched_detection_unwraps_partials_and_bound_methods(self):
+        import functools
+
+        from repro.deployment.strategies import deploy_grid_batched
+        from repro.simulation.runner import _deployment_is_batched
+
+        class Strategy:
+            def place(self, field, num_sensors, rng, batch):
+                return np.zeros((batch, num_sensors, 2))
+
+            def legacy(self, field, num_sensors, rng):
+                return np.zeros((num_sensors, 2))
+
+        strategy = Strategy()
+        assert _deployment_is_batched(deploy_grid_batched)
+        assert _deployment_is_batched(functools.partial(deploy_grid_batched))
+        assert _deployment_is_batched(
+            functools.partial(deploy_grid_batched, jitter=1.0)
+        )
+        # A partial pre-binding `batch` by keyword still wraps a batched
+        # deployment; the runner's keyword call overrides the binding
+        # (the old positional call crashed with "multiple values").
+        assert _deployment_is_batched(
+            functools.partial(deploy_grid_batched, batch=8)
+        )
+        assert _deployment_is_batched(strategy.place)
+        assert _deployment_is_batched(functools.partial(Strategy.place, strategy))
+        assert _deployment_is_batched(
+            functools.partial(functools.partial(Strategy.place), strategy)
+        )
+        assert not _deployment_is_batched(strategy.legacy)
+        assert not _deployment_is_batched(
+            functools.partial(Strategy.legacy, strategy)
+        )
+        assert not _deployment_is_batched(lambda f, n, r: None)
+        assert not _deployment_is_batched(len)
+
+    def test_keyword_only_batch_parameter_supported(self, small):
+        def deploy(field, num_sensors, rng, *, batch):
+            return rng.uniform(
+                (0.0, 0.0),
+                (field.width, field.height),
+                size=(batch, num_sensors, 2),
+            )
+
+        result = MonteCarloSimulator(
+            small, trials=50, seed=3, deployment=deploy
+        ).run()
+        assert result.trials == 50
+
+    def test_partial_with_prebound_batch_runs_and_matches_direct(self, small):
+        # Regression: partial(batched_fn, batch=...) used to crash with
+        # "got multiple values for argument 'batch'"; the runner's batch
+        # must override the pre-bound keyword so results are identical to
+        # using the bare callable.
+        import functools
+
+        from repro.deployment.strategies import deploy_grid_batched
+
+        direct = MonteCarloSimulator(
+            small, trials=120, seed=11, deployment=deploy_grid_batched
+        ).run()
+        wrapped = MonteCarloSimulator(
+            small,
+            trials=120,
+            seed=11,
+            deployment=functools.partial(deploy_grid_batched, batch=7),
+        ).run()
+        np.testing.assert_array_equal(
+            direct.report_counts, wrapped.report_counts
+        )
+
+    def test_bound_method_deployment_runs_batched(self, small):
+        calls = []
+
+        class Strategy:
+            def place(self, field, num_sensors, rng, batch):
+                calls.append(batch)
+                return rng.uniform(
+                    (0.0, 0.0),
+                    (field.width, field.height),
+                    size=(batch, num_sensors, 2),
+                )
+
+        MonteCarloSimulator(
+            small,
+            trials=250,
+            seed=7,
+            batch_size=100,
+            deployment=Strategy().place,
+        ).run()
+        assert calls == [100, 100, 50]
+
     def test_bad_batched_deployment_shape_rejected(self, small):
         def deploy(field, num_sensors, rng, batch):
             return np.zeros((batch, 3, 2))

@@ -1,0 +1,585 @@
+"""Unit tests for the serving layer: coalescer, cache policy, server."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cache import clear_analysis_cache
+from repro.service import (
+    AnalysisService,
+    Endpoint,
+    RequestCoalescer,
+    ServiceConfig,
+    build_response_cache,
+    request_fingerprint,
+)
+
+SCENARIO = {
+    "field_width": 10_000.0,
+    "field_height": 10_000.0,
+    "num_sensors": 240,
+    "sensing_range": 600.0,
+    "target_speed": 10.0,
+    "sensing_period": 30.0,
+    "detect_prob": 0.9,
+    "window": 10,
+    "threshold": 3,
+}
+
+
+@pytest.fixture(autouse=True)
+def fresh_analysis_cache():
+    clear_analysis_cache()
+    yield
+    clear_analysis_cache()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _Gate:
+    """A compute stub whose completion the test controls explicitly."""
+
+    def __init__(self, result=None):
+        self.calls = 0
+        self._lock = threading.Lock()
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self._result = result if result is not None else {"value": 42}
+
+    def __call__(self, request):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        if not self.release.wait(timeout=10):
+            raise RuntimeError("gate never released")
+        return dict(self._result, request=request)
+
+
+def _stub_service(gate, path="/stub", **config_kwargs) -> AnalysisService:
+    """A service with one gated endpoint on a thread pool (countable)."""
+    endpoint = Endpoint(
+        path,
+        "stub",
+        canonicalize=lambda payload: {"v": payload.get("v", 0)}
+        if isinstance(payload, dict)
+        else {"v": 0},
+        compute=gate,
+    )
+    config = ServiceConfig(port=0, **config_kwargs)
+    return AnalysisService(
+        config,
+        endpoints={path: endpoint},
+        executor_factory=lambda: ThreadPoolExecutor(max_workers=config.workers),
+    )
+
+
+async def _settle(condition, timeout=5.0):
+    """Await until ``condition()`` is true (event-loop friendly poll)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not condition():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(0.005)
+
+
+class TestRequestCoalescer:
+    def test_concurrent_identical_keys_share_one_computation(self):
+        async def main():
+            coalescer = RequestCoalescer()
+            calls = []
+            release = asyncio.Event()
+
+            async def compute():
+                calls.append(1)
+                await release.wait()
+                return "answer"
+
+            tasks = [
+                asyncio.ensure_future(coalescer.run("k", compute))
+                for _ in range(8)
+            ]
+            await _settle(lambda: coalescer.inflight == 1)
+            release.set()
+            results = await asyncio.gather(*tasks)
+            assert len(calls) == 1
+            assert all(value == "answer" for value, _ in results)
+            coalesced = [flag for _, flag in results]
+            assert coalesced.count(False) == 1
+            assert coalesced.count(True) == 7
+            assert coalescer.inflight == 0
+
+        run(main())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def main():
+            coalescer = RequestCoalescer()
+            calls = []
+
+            def compute_for(key):
+                async def compute():
+                    calls.append(key)
+                    return key
+
+                return compute
+
+            results = await asyncio.gather(
+                coalescer.run("a", compute_for("a")),
+                coalescer.run("b", compute_for("b")),
+            )
+            assert sorted(calls) == ["a", "b"]
+            assert [flag for _, flag in results] == [False, False]
+
+        run(main())
+
+    def test_sequential_requests_recompute(self):
+        async def main():
+            coalescer = RequestCoalescer()
+            calls = []
+
+            async def compute():
+                calls.append(1)
+                return len(calls)
+
+            first, _ = await coalescer.run("k", compute)
+            second, coalesced = await coalescer.run("k", compute)
+            assert (first, second) == (1, 2)
+            assert not coalesced
+
+        run(main())
+
+    def test_error_propagates_to_every_waiter_then_clears(self):
+        async def main():
+            coalescer = RequestCoalescer()
+            release = asyncio.Event()
+
+            async def explode():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            tasks = [
+                asyncio.ensure_future(coalescer.run("k", explode))
+                for _ in range(3)
+            ]
+            await _settle(lambda: coalescer.inflight == 1)
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(result, RuntimeError) for result in results)
+            assert coalescer.inflight == 0
+
+            async def recover():
+                return "fine"
+
+            value, coalesced = await coalescer.run("k", recover)
+            assert value == "fine" and not coalesced
+
+        run(main())
+
+    def test_cancelled_follower_does_not_cancel_the_flight(self):
+        async def main():
+            coalescer = RequestCoalescer()
+            release = asyncio.Event()
+
+            async def compute():
+                await release.wait()
+                return "survived"
+
+            leader = asyncio.ensure_future(coalescer.run("k", compute))
+            follower = asyncio.ensure_future(coalescer.run("k", compute))
+            await _settle(lambda: coalescer.inflight == 1)
+            follower.cancel()
+            await asyncio.gather(follower, return_exceptions=True)
+            release.set()
+            value, coalesced = await leader
+            assert value == "survived" and not coalesced
+
+        run(main())
+
+
+class TestCachePolicy:
+    def test_fingerprint_ignores_key_order(self):
+        canonical = {"a": 1, "b": {"x": 2.0, "y": 3}}
+        shuffled = {"b": {"y": 3, "x": 2.0}, "a": 1}
+        assert request_fingerprint("/analyze", canonical) == request_fingerprint(
+            "/analyze", shuffled
+        )
+
+    def test_fingerprint_separates_endpoints(self):
+        canonical = {"a": 1}
+        assert request_fingerprint("/analyze", canonical) != request_fingerprint(
+            "/sweep", canonical
+        )
+
+    def test_response_cache_is_lru_with_ttl(self):
+        clock = [0.0]
+        cache = build_response_cache(max_entries=2, ttl=5.0, clock=lambda: clock[0])
+        cache.store("a", b"1")
+        cache.store("b", b"2")
+        assert cache.lookup("a") == (True, b"1")  # refresh "a"
+        cache.store("c", b"3")  # evicts "b" (LRU)
+        assert "b" not in cache
+        assert "a" in cache
+        clock[0] = 10.0
+        found, _ = cache.lookup("a")
+        assert not found  # expired
+        assert cache.expirations == 1
+        assert cache.lookups == cache.hits + cache.misses
+
+
+class TestServiceComputePath:
+    def test_sixty_four_concurrent_identical_requests_one_computation(self):
+        async def main():
+            gate = _Gate()
+            service = _stub_service(gate, queue_limit=128)
+            body = json.dumps({"v": 7}).encode()
+            tasks = [
+                asyncio.ensure_future(service.dispatch("POST", "/stub", body))
+                for _ in range(64)
+            ]
+            await _settle(
+                lambda: service.metrics.counter("requests.stub") == 64
+                and gate.started.is_set()
+            )
+            gate.release.set()
+            results = await asyncio.gather(*tasks)
+            statuses = [status for status, _, _ in results]
+            bodies = {payload for _, _, payload in results}
+            assert statuses == [200] * 64
+            assert len(bodies) == 1  # byte-identical payloads
+            assert gate.calls == 1  # exactly one underlying computation
+            assert service.metrics.counter("computations") == 1
+            assert service.metrics.counter("coalesced") == 63
+            # Conservation: every request was leader, follower, or hit.
+            assert (
+                service.metrics.counter("computations")
+                + service.metrics.counter("coalesced")
+                + service.metrics.counter("cache_served")
+                == 64
+            )
+
+        run(main())
+
+    def test_cached_response_is_byte_identical_to_cold(self):
+        async def main():
+            gate = _Gate()
+            gate.release.set()
+            service = _stub_service(gate)
+            body = json.dumps({"v": 1}).encode()
+            status1, headers1, cold = await service.dispatch("POST", "/stub", body)
+            status2, headers2, warm = await service.dispatch("POST", "/stub", body)
+            assert (status1, status2) == (200, 200)
+            assert headers1["X-Repro-Cache"] == "miss"
+            assert headers2["X-Repro-Cache"] == "hit"
+            assert cold == warm
+            assert gate.calls == 1
+
+        run(main())
+
+    def test_backpressure_returns_503_with_retry_after(self):
+        async def main():
+            gate = _Gate()
+            service = _stub_service(gate, queue_limit=1)
+            slow = asyncio.ensure_future(
+                service.dispatch("POST", "/stub", json.dumps({"v": 1}).encode())
+            )
+            await _settle(lambda: service.metrics.counter("requests.stub") == 1)
+            # Distinct payload: must not coalesce, must hit admission.
+            status, headers, payload = await service.dispatch(
+                "POST", "/stub", json.dumps({"v": 2}).encode()
+            )
+            assert status == 503
+            assert headers["Retry-After"] == "1"
+            assert b"admission queue full" in payload
+            assert service.metrics.counter("rejected") == 1
+            gate.release.set()
+            status, _, _ = await slow
+            assert status == 200
+            # The server survived saturation: health still answers.
+            status, _, health = await service.dispatch("GET", "/healthz")
+            assert status == 200
+            assert json.loads(health)["status"] == "ok"
+
+        run(main())
+
+    def test_cache_hit_bypasses_admission(self):
+        async def main():
+            gate = _Gate()
+            service = _stub_service(gate, queue_limit=1)
+            body = json.dumps({"v": 1}).encode()
+            gate.release.set()
+            await service.dispatch("POST", "/stub", body)
+            gate.release.clear()
+            # Saturate the only admission slot with a distinct request.
+            blocked = asyncio.ensure_future(
+                service.dispatch("POST", "/stub", json.dumps({"v": 9}).encode())
+            )
+            await _settle(lambda: service.metrics.counter("requests.stub") == 2)
+            # The cached request still answers instantly.
+            status, headers, _ = await service.dispatch("POST", "/stub", body)
+            assert (status, headers["X-Repro-Cache"]) == (200, "hit")
+            gate.release.set()
+            await blocked
+
+        run(main())
+
+    def test_request_timeout_gives_504_and_recycles_pool(self):
+        async def main():
+            gate = _Gate()
+            service = _stub_service(gate, request_timeout=0.2)
+            status, _, payload = await service.dispatch(
+                "POST", "/stub", json.dumps({"v": 1}).encode()
+            )
+            assert status == 504
+            assert b"timeout" in payload
+            assert service.metrics.counter("timeouts") == 1
+            gate.release.set()  # unblock the abandoned worker thread
+            # The recycled pool serves the next request normally.
+            gate2 = _Gate()
+            gate2.release.set()
+            service._endpoints["/stub"] = Endpoint(
+                "/stub", "stub", lambda p: {"v": p.get("v", 0)}, gate2
+            )
+            status, _, _ = await service.dispatch(
+                "POST", "/stub", json.dumps({"v": 2}).encode()
+            )
+            assert status == 200
+
+        run(main())
+
+    def test_compute_error_maps_to_500_and_server_survives(self):
+        async def main():
+            def explode(request):
+                raise RuntimeError("kernel fault")
+
+            endpoint = Endpoint("/bad", "bad", lambda p: {}, explode)
+            service = AnalysisService(
+                ServiceConfig(port=0),
+                endpoints={"/bad": endpoint},
+                executor_factory=lambda: ThreadPoolExecutor(max_workers=1),
+            )
+            status, _, payload = await service.dispatch("POST", "/bad", b"{}")
+            assert status == 500
+            assert b"kernel fault" in payload
+            status, _, _ = await service.dispatch("GET", "/healthz")
+            assert status == 200
+
+        run(main())
+
+
+class TestHttpLayer:
+    @staticmethod
+    async def _raw_request(host, port, raw: bytes) -> bytes:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(raw)
+        await writer.drain()
+        response = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return response
+
+    @staticmethod
+    async def _request(host, port, method, path, body=b""):
+        raw = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode() + body
+        response = await TestHttpLayer._raw_request(host, port, raw)
+        head, _, payload = response.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        headers = {}
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, payload
+
+    def test_socket_roundtrip_errors_and_health(self):
+        async def main():
+            gate = _Gate()
+            gate.release.set()
+            service = _stub_service(gate)
+            await service.start()
+            host, port = service.host, service.port
+            try:
+                status, _, payload = await self._request(host, port, "GET", "/healthz")
+                assert status == 200 and b'"status":"ok"' in payload
+
+                status, _, _ = await self._request(host, port, "GET", "/nope")
+                assert status == 404
+
+                status, _, _ = await self._request(host, port, "DELETE", "/stub")
+                assert status == 405
+
+                status, _, payload = await self._request(
+                    host, port, "POST", "/stub", b"not json"
+                )
+                assert status == 400 and b"not valid JSON" in payload
+
+                status, headers, _ = await self._request(
+                    host, port, "POST", "/stub", json.dumps({"v": 5}).encode()
+                )
+                assert status == 200 and headers["x-repro-cache"] == "miss"
+
+                status, _, payload = await self._request(host, port, "GET", "/metrics")
+                metrics = json.loads(payload)
+                assert metrics["counters"]["computations"] == 1
+                assert "response_cache" in metrics
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_oversized_body_rejected(self):
+        async def main():
+            gate = _Gate()
+            gate.release.set()
+            service = _stub_service(gate)
+            service.config.max_body_bytes = 64
+            await service.start()
+            try:
+                status, _, payload = await self._request(
+                    service.host, service.port, "POST", "/stub", b"x" * 100
+                )
+                assert status == 413
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_malformed_request_line_rejected(self):
+        async def main():
+            gate = _Gate()
+            gate.release.set()
+            service = _stub_service(gate)
+            await service.start()
+            try:
+                response = await self._raw_request(
+                    service.host, service.port, b"garbage\r\n\r\n"
+                )
+                assert b"400" in response.split(b"\r\n", 1)[0]
+            finally:
+                await service.stop()
+
+        run(main())
+
+
+class TestRealEndpoints:
+    def _service(self, **config_kwargs):
+        return AnalysisService(
+            ServiceConfig(port=0, **config_kwargs),
+            executor_factory=lambda: ThreadPoolExecutor(max_workers=1),
+        )
+
+    def test_analyze_matches_direct_analysis(self):
+        from repro.core.markov_spatial import MarkovSpatialAnalysis
+        from repro.core.scenario import Scenario
+
+        async def main():
+            service = self._service()
+            body = json.dumps({"scenario": SCENARIO}).encode()
+            status, _, payload = await service.dispatch("POST", "/analyze", body)
+            assert status == 200
+            result = json.loads(payload)
+            expected = MarkovSpatialAnalysis(
+                Scenario.from_dict(SCENARIO), 3
+            ).detection_probability()
+            assert result["detection_probability"] == pytest.approx(expected)
+
+        run(main())
+
+    def test_analyze_rejects_invalid_payloads(self):
+        async def main():
+            service = self._service()
+            cases = [
+                b"[]",  # not an object
+                json.dumps({"scenario": {"num_sensors": 3}}).encode(),  # missing
+                json.dumps({"scenario": SCENARIO, "bogus": 1}).encode(),
+                json.dumps(
+                    {"scenario": SCENARIO, "body_truncation": 0}
+                ).encode(),
+                json.dumps(
+                    {"scenario": dict(SCENARIO, window=2)}
+                ).encode(),  # window <= ms
+            ]
+            for body in cases:
+                status, _, _ = await service.dispatch("POST", "/analyze", body)
+                assert status == 400, body
+
+        run(main())
+
+    def test_simulate_matches_direct_run_and_caps_trials(self):
+        from repro.core.scenario import Scenario
+        from repro.simulation.runner import MonteCarloSimulator
+
+        async def main():
+            service = self._service()
+            body = json.dumps(
+                {"scenario": SCENARIO, "trials": 300, "seed": 9}
+            ).encode()
+            status, _, payload = await service.dispatch("POST", "/simulate", body)
+            assert status == 200
+            result = json.loads(payload)
+            direct = MonteCarloSimulator(
+                Scenario.from_dict(SCENARIO), trials=300, seed=9
+            ).run()
+            assert result["detection_probability"] == pytest.approx(
+                direct.detection_probability
+            )
+            status, _, payload = await service.dispatch(
+                "POST",
+                "/simulate",
+                json.dumps({"scenario": SCENARIO, "trials": 10**9}).encode(),
+            )
+            assert status == 400
+            assert b"trials" in payload
+
+        run(main())
+
+    def test_sweep_rows_cover_requested_values(self):
+        async def main():
+            service = self._service()
+            body = json.dumps(
+                {
+                    "scenario": SCENARIO,
+                    "parameter": "threshold",
+                    "values": [1, 3, 5],
+                }
+            ).encode()
+            status, _, payload = await service.dispatch("POST", "/sweep", body)
+            assert status == 200
+            result = json.loads(payload)
+            assert [row["threshold"] for row in result["rows"]] == [1, 3, 5]
+            probabilities = [
+                row["detection_probability"] for row in result["rows"]
+            ]
+            assert probabilities == sorted(probabilities, reverse=True)
+
+        run(main())
+
+    def test_equivalent_payload_spellings_share_a_cache_line(self):
+        async def main():
+            service = self._service()
+            spelled = json.dumps(
+                {"scenario": SCENARIO, "body_truncation": 3, "substeps": 1}
+            ).encode()
+            bare = json.dumps(
+                {"scenario": dict(reversed(list(SCENARIO.items())))}
+            ).encode()
+            status, headers, cold = await service.dispatch(
+                "POST", "/analyze", spelled
+            )
+            assert (status, headers["X-Repro-Cache"]) == (200, "miss")
+            status, headers, warm = await service.dispatch(
+                "POST", "/analyze", bare
+            )
+            assert (status, headers["X-Repro-Cache"]) == (200, "hit")
+            assert cold == warm
+
+        run(main())
