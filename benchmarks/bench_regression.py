@@ -10,7 +10,10 @@ recorded ``cpu_count=1`` serial baseline:
   churn sneaking into the hot loop (the exact failure mode the obs
   subsystem's zero-overhead contract forbids);
 * per-*point* analysis time on the PERF-CACHE cold grid pass — catches a
-  broken cache key silently recomputing every geometry.
+  broken cache key silently recomputing every geometry;
+* whole-grid batched time on the recorded PERF-BATCH axes — catches the
+  batched kernel degrading back toward per-point cost (e.g. an
+  accidentally quadratic convolution loop or a disabled grid memo).
 
 The 3x envelope absorbs host-speed differences between the recording
 machine and CI runners while still catching order-of-magnitude
@@ -116,4 +119,35 @@ def test_per_point_analysis_time_vs_recorded_baseline():
         f"smoke per-point analysis time {per_point * 1e3:.3f} ms exceeds "
         f"{REGRESSION_FACTOR}x the recorded baseline "
         f"{baseline_per_point * 1e3:.3f} ms"
+    )
+
+
+def test_batched_grid_time_vs_recorded_baseline():
+    baseline = _load_baseline("perf-batch.json")
+    batched_rows = [row for row in baseline.rows if row["path"] == "batched"]
+    assert batched_rows, "perf-batch.json has no batched row"
+    baseline_seconds = batched_rows[0]["seconds"]
+    num_sensors = baseline.parameters["num_sensors_axis"]
+    thresholds = baseline.parameters["thresholds_axis"]
+
+    from repro.core.batched import BatchedMarkovSpatialAnalysis
+
+    scenario = onr_scenario(num_sensors=num_sensors[0], speed=10.0)
+    engine = BatchedMarkovSpatialAnalysis(scenario, 3)
+    # Warm-up on a different geometry, then time the recorded grid cold.
+    BatchedMarkovSpatialAnalysis(
+        onr_scenario(num_sensors=60, speed=4.0), 3
+    ).detection_probability()
+    clear_analysis_cache()
+    start = time.perf_counter()
+    engine.detection_probability_grid(
+        num_sensors=num_sensors, thresholds=thresholds
+    )
+    seconds = time.perf_counter() - start
+
+    assert seconds <= REGRESSION_FACTOR * baseline_seconds, (
+        f"batched evaluation of the recorded "
+        f"{len(num_sensors) * len(thresholds)}-point grid took "
+        f"{seconds * 1e3:.1f} ms, exceeding {REGRESSION_FACTOR}x the "
+        f"recorded baseline {baseline_seconds * 1e3:.1f} ms"
     )

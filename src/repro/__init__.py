@@ -21,6 +21,7 @@ Quickstart::
 
 from repro.cache import AnalysisCache, analysis_cache, clear_analysis_cache
 from repro.core import (
+    BatchedMarkovSpatialAnalysis,
     DetectionLatencyAnalysis,
     ExactSpatialAnalysis,
     MarkovSpatialAnalysis,
@@ -63,6 +64,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisCache",
     "AnalysisError",
+    "BatchedMarkovSpatialAnalysis",
     "DeploymentError",
     "DetectionLatencyAnalysis",
     "DistributionError",

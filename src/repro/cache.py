@@ -16,6 +16,9 @@ region areas (Eq. 6-10)   ``sensing_range``, ``step_length`` (= V * t)
 ``window_regions``        the above + the window-prefix length
 stage report pmfs         subarea bytes + ``field_area``, ``num_sensors``,
                           ``detect_prob``, truncation, substeps
+batched report grids      ``sensing_range``, ``step_length``, ``window``,
+                          ``field_area``, ``detect_prob``, truncations,
+                          substeps + the ``N``-axis bytes (not ``k``)
 Monte Carlo area est.     ``sensing_range``, ``step_length``, periods,
                           samples, integer seed (uncached otherwise)
 ========================  ====================================================
@@ -64,6 +67,7 @@ __all__ = [
     "analysis_cache",
     "clear_analysis_cache",
     "cached_array",
+    "grid_key",
     "pmf_key",
     "region_geometry_key",
 ]
@@ -342,4 +346,36 @@ def pmf_key(scenario, truncation: int, substeps: int, subareas) -> Tuple:
         float(scenario.detect_prob),
         int(truncation),
         int(substeps),
+    )
+
+
+def grid_key(
+    scenario,
+    body_truncation: int,
+    head_truncation: int,
+    substeps: int,
+    num_sensors,
+) -> Tuple:
+    """Cache key for a batched report-count distribution stack.
+
+    Keyed by everything the Eq. 12 chain depends on *except* the
+    threshold: the region geometry (``Rs``, ``V * t``), the stage count
+    ``M``, the occupancy/detection parameters, the truncations, and the
+    ``N`` axis itself (byte-exact, order included — rows of the cached
+    stack line up with the axis).  ``k`` is answered from the cached
+    stack by a survival lookup, so — as everywhere in this cache — it
+    appears in no key.
+    """
+    counts = np.ascontiguousarray(num_sensors, dtype=int)
+    return (
+        "batched_grid",
+        float(scenario.sensing_range),
+        float(scenario.step_length),
+        int(scenario.window),
+        float(scenario.field_area),
+        float(scenario.detect_prob),
+        int(body_truncation),
+        int(head_truncation),
+        int(substeps),
+        counts.tobytes(),
     )

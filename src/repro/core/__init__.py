@@ -10,6 +10,8 @@ Public entry points:
   S-approach (Section 3.3).
 * :class:`~repro.core.markov_spatial.MarkovSpatialAnalysis` — the
   M-S-approach, the paper's headline method (Section 3.4).
+* :class:`~repro.core.batched.BatchedMarkovSpatialAnalysis` — the same
+  model evaluated over whole ``(N, k)`` grids in stacked kernels.
 * :class:`~repro.core.exact_spatial.ExactSpatialAnalysis` — untruncated
   exact reference (our addition; see DESIGN.md).
 * :class:`~repro.core.multinode.MultiNodeAnalysis` — the ">= k reports from
@@ -25,6 +27,7 @@ from repro.core.single_period import (
 )
 from repro.core.spatial import SApproach
 from repro.core.markov_spatial import MarkovSpatialAnalysis
+from repro.core.batched import BatchedMarkovSpatialAnalysis
 from repro.core.exact_spatial import ExactSpatialAnalysis
 from repro.core.latency import DetectionLatencyAnalysis
 from repro.core.multinode import MultiNodeAnalysis
@@ -43,6 +46,7 @@ from repro.core.design import (
 )
 
 __all__ = [
+    "BatchedMarkovSpatialAnalysis",
     "DetectionLatencyAnalysis",
     "ExactSpatialAnalysis",
     "MarkovSpatialAnalysis",

@@ -8,7 +8,10 @@ detection requirement — under a node-level false alarm budget.
 
 All searches are over integers and use the model's monotonicities
 (detection probability is non-decreasing in ``N`` and non-increasing in
-``k``), which the test suite pins down.
+``k``), which the test suite pins down.  Candidate ranges are evaluated
+on :class:`repro.core.batched.BatchedMarkovSpatialAnalysis` — whole
+``N`` chunks (or the whole ``k`` axis, answered from one survival
+function) per kernel call instead of one scalar pipeline per candidate.
 """
 
 from __future__ import annotations
@@ -16,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
+from repro.core.batched import BatchedMarkovSpatialAnalysis
 from repro.core.false_alarms import minimum_safe_threshold
-from repro.core.markov_spatial import MarkovSpatialAnalysis
 from repro.core.scenario import Scenario
 from repro.errors import AnalysisError
 
@@ -30,10 +35,22 @@ __all__ = [
     "rule_frontier",
 ]
 
+#: Candidate fleet sizes evaluated per kernel call by the ascending scans.
+#: Large enough that the per-call fixed cost (stage pmf assembly) is
+#: amortised, small enough that an early answer does not pay for the
+#: whole search ceiling.
+_SCAN_CHUNK = 128
+
 
 def detection_probability(scenario: Scenario, truncation: int = 3) -> float:
-    """Model detection probability for a scenario (M-S-approach, Eq. 13)."""
-    return MarkovSpatialAnalysis(
+    """Model detection probability for a scenario (M-S-approach, Eq. 13).
+
+    Evaluated on the batched kernel (singleton grid), so design-layer
+    numbers are bitwise consistent with sweep rows; agreement with the
+    scalar :class:`~repro.core.markov_spatial.MarkovSpatialAnalysis` is
+    to 1e-12.
+    """
+    return BatchedMarkovSpatialAnalysis(
         scenario, body_truncation=truncation
     ).detection_probability()
 
@@ -46,8 +63,10 @@ def minimum_sensors(
 ) -> Optional[int]:
     """Smallest ``N`` whose detection probability meets the requirement.
 
-    Other scenario fields (rule, geometry) are held fixed.  Uses binary
-    search over the monotone model.
+    Other scenario fields (rule, geometry) are held fixed.  Scans the
+    candidate range in ascending batched chunks — each kernel call
+    answers :data:`_SCAN_CHUNK` fleet sizes at once — and returns at the
+    first chunk containing a meeting ``N``.
 
     Args:
         scenario: template scenario (its ``num_sensors`` is ignored).
@@ -64,21 +83,14 @@ def minimum_sensors(
         )
     if max_sensors < 1:
         raise AnalysisError(f"max_sensors must be >= 1, got {max_sensors}")
-
-    def meets(count: int) -> bool:
-        candidate = scenario.replace(num_sensors=count)
-        return detection_probability(candidate, truncation) >= required_probability
-
-    if not meets(max_sensors):
-        return None
-    low, high = 1, max_sensors
-    while low < high:
-        mid = (low + high) // 2
-        if meets(mid):
-            high = mid
-        else:
-            low = mid + 1
-    return low
+    engine = BatchedMarkovSpatialAnalysis(scenario, body_truncation=truncation)
+    for start in range(1, max_sensors + 1, _SCAN_CHUNK):
+        counts = list(range(start, min(start + _SCAN_CHUNK, max_sensors + 1)))
+        column = engine.detection_probability_grid(num_sensors=counts)[:, 0]
+        meeting = np.flatnonzero(column >= required_probability)
+        if meeting.size:
+            return counts[int(meeting[0])]
+    return None
 
 
 def maximum_threshold(
@@ -88,20 +100,29 @@ def maximum_threshold(
 ) -> Optional[int]:
     """Largest ``k`` (false-alarm immunity) still meeting the requirement.
 
+    The whole ``k`` range is answered from one survival function (one
+    batched evaluation); as in the sequential scan this replaced, the
+    answer is the last ``k`` before the first failing one.
+
     Returns ``None`` when even ``k = 1`` misses the requirement.
     """
     if not 0.0 < required_probability < 1.0:
         raise AnalysisError(
             f"required_probability must be in (0, 1), got {required_probability}"
         )
-    best = None
-    for k in range(1, scenario.num_sensors * (scenario.ms + 1) + 1):
-        candidate = scenario.replace(threshold=k)
-        if detection_probability(candidate, truncation) >= required_probability:
-            best = k
-        else:
-            break
-    return best
+    thresholds = list(
+        range(1, scenario.num_sensors * (scenario.ms + 1) + 1)
+    )
+    row = BatchedMarkovSpatialAnalysis(
+        scenario, body_truncation=truncation
+    ).detection_probability_grid(thresholds=thresholds)[0]
+    failing = np.flatnonzero(row < required_probability)
+    if failing.size == 0:
+        return thresholds[-1]
+    first_failure = int(failing[0])
+    if first_failure == 0:
+        return None
+    return thresholds[first_failure - 1]
 
 
 @dataclass(frozen=True)
@@ -136,23 +157,39 @@ def design_deployment(
     fleets generate more false reports and need larger ``k``), then the
     detection requirement is checked.  Returns the cheapest feasible
     design, or ``None``.
+
+    Detection probability is *not* monotone in ``N`` here (``k_min``
+    grows with ``N``), so the candidate scan cannot bisect; instead every
+    ``(N, k_min(N))`` pair is read off one batched grid over the
+    candidate counts and the distinct safe thresholds.
     """
     if max_sensors < 1:
         raise AnalysisError(f"max_sensors must be >= 1, got {max_sensors}")
-    # Detection probability is *not* monotone in N here (k_min grows with
-    # N), so scan rather than bisect; the model is cheap.
     step = max(1, max_sensors // 200)
-    for count in range(step, max_sensors + 1, step):
-        threshold = minimum_safe_threshold(
-            count, template.window, node_false_alarm_prob, max_window_fa_probability
+    counts = list(range(step, max_sensors + 1, step))
+    thresholds = [
+        minimum_safe_threshold(
+            count,
+            template.window,
+            node_false_alarm_prob,
+            max_window_fa_probability,
         )
-        candidate = template.replace(num_sensors=count, threshold=threshold)
-        p_detect = detection_probability(candidate, truncation)
+        for count in counts
+    ]
+    distinct = sorted(set(thresholds))
+    grid = BatchedMarkovSpatialAnalysis(
+        template, body_truncation=truncation
+    ).detection_probability_grid(num_sensors=counts, thresholds=distinct)
+    column_of = {threshold: j for j, threshold in enumerate(distinct)}
+    for i, (count, threshold) in enumerate(zip(counts, thresholds)):
+        p_detect = float(grid[i, column_of[threshold]])
         if p_detect >= required_probability:
             from repro.core.false_alarms import window_false_alarm_probability
 
             return DesignPoint(
-                scenario=candidate,
+                scenario=template.replace(
+                    num_sensors=count, threshold=threshold
+                ),
                 detection_probability=p_detect,
                 window_false_alarm_probability=window_false_alarm_probability(
                     count, template.window, node_false_alarm_prob, threshold
@@ -169,21 +206,26 @@ def rule_frontier(
     """Detection probability along a sweep of ``k`` (fixed ``N``, ``M``).
 
     The (k, P[detect]) frontier a designer trades false-alarm immunity
-    against; false alarm probabilities are reported for reference at
-    ``pf = 0`` (pass the output through
+    against, read off a single survival function; false alarm
+    probabilities are reported for reference at ``pf = 0`` (pass the
+    output through
     :func:`repro.core.false_alarms.window_false_alarm_probability` for a
     concrete noise level).
     """
-    points = []
-    for k in thresholds:
+    ks = list(thresholds)
+    for k in ks:
         if k < 1:
             raise AnalysisError(f"thresholds must be >= 1, got {k}")
-        candidate = scenario.replace(threshold=k)
-        points.append(
-            DesignPoint(
-                scenario=candidate,
-                detection_probability=detection_probability(candidate, truncation),
-                window_false_alarm_probability=0.0,
-            )
+    if not ks:
+        return []
+    row = BatchedMarkovSpatialAnalysis(
+        scenario, body_truncation=truncation
+    ).detection_probability_grid(thresholds=ks)[0]
+    return [
+        DesignPoint(
+            scenario=scenario.replace(threshold=k),
+            detection_probability=float(row[j]),
+            window_false_alarm_probability=0.0,
         )
-    return points
+        for j, k in enumerate(ks)
+    ]

@@ -278,6 +278,11 @@ class MarkovSpatialAnalysis:
         total = float(distribution.sum())
         if total <= 0.0:
             raise AnalysisError(
-                "captured probability mass is zero; increase the truncations"
+                "captured probability mass is zero for num_sensors="
+                f"{self._scenario.num_sensors}: body_truncation "
+                f"g={self._g}, head_truncation gh={self._gh} (substeps="
+                f"{self._substeps}) admit no sensor configuration across "
+                f"the {self._scenario.window} stages; increase the "
+                "truncations"
             )
         return tail / total

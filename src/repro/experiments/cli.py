@@ -150,6 +150,12 @@ def _run_rule(args: argparse.Namespace) -> ExperimentRecord:
     return figures.rule_design_experiment()
 
 
+def _run_design(args: argparse.Namespace) -> ExperimentRecord:
+    return figures.deployment_design_experiment(
+        max_sensors=getattr(args, "max_sensors", 600)
+    )
+
+
 def _run_m1(args: argparse.Namespace) -> ExperimentRecord:
     return figures.instantaneous_vs_group_experiment()
 
@@ -185,6 +191,7 @@ _EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], ExperimentRecord]] = {
     "hetero": _run_hetero,
     "sensitivity": _run_sensitivity,
     "rule": _run_rule,
+    "design": _run_design,
     "m1": _run_m1,
     "drift": _run_drift,
     "bases": _run_bases,
@@ -213,6 +220,8 @@ _HELP: Dict[str, str] = {
     "hetero": "heterogeneous sensing ranges",
     "sensitivity": "parameter sensitivity of the analysis",
     "rule": "k-of-M rule design space",
+    "design": "invert the model: minimal fleets for detection + "
+    "false-alarm requirements (batched kernel)",
     "m1": "instantaneous (M=1) vs group detection",
     "drift": "deployment drift over time",
     "bases": "multi-base-station placement",
@@ -313,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     for name in sorted(_EXPERIMENTS) + ["all", "validate", "serve"]:
         sub = subparsers.add_parser(name, parents=[parent], help=_HELP.get(name))
+        if name == "design":
+            sub.add_argument(
+                "--max-sensors",
+                type=int,
+                default=600,
+                dest="max_sensors",
+                help="fleet-size search ceiling for the design scans "
+                "(default: 600)",
+            )
         if name == "netloss":
             sub.add_argument(
                 "--truncation",

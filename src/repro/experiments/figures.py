@@ -1088,8 +1088,10 @@ def rule_design_experiment(
     For every rule in the grid: detection probability (M-S analysis) and
     the per-window system false alarm probability under the Bernoulli node
     model — the two quantities a designer trades when picking the rule.
-    Analysis-only; runs in milliseconds per cell.
+    Analysis-only; each window's whole ``k`` row is read off one batched
+    survival function (:class:`repro.core.batched.BatchedMarkovSpatialAnalysis`).
     """
+    from repro.core.batched import BatchedMarkovSpatialAnalysis
     from repro.core.false_alarms import window_false_alarm_probability
 
     record = ExperimentRecord(
@@ -1101,24 +1103,93 @@ def rule_design_experiment(
             "node_false_alarm_prob": node_false_alarm_prob,
         },
     )
+    threshold_axis = list(thresholds)
     for window in windows:
-        for threshold in thresholds:
-            scenario = onr_scenario(
-                num_sensors=num_sensors,
-                speed=speed,
-                window=window,
-                threshold=threshold,
-            )
-            detection = MarkovSpatialAnalysis(scenario, 3).detection_probability()
+        scenario = onr_scenario(
+            num_sensors=num_sensors,
+            speed=speed,
+            window=window,
+            threshold=threshold_axis[0],
+        )
+        detection_row = BatchedMarkovSpatialAnalysis(
+            scenario, 3
+        ).detection_probability_grid(thresholds=threshold_axis)[0]
+        for column, threshold in enumerate(threshold_axis):
             false_alarm = window_false_alarm_probability(
                 num_sensors, window, node_false_alarm_prob, threshold
             )
             record.add_row(
                 window=window,
                 threshold=threshold,
-                detection=detection,
+                detection=float(detection_row[column]),
                 window_false_alarm=false_alarm,
             )
+    return record
+
+
+def deployment_design_experiment(
+    requirements: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95),
+    speed: float = 10.0,
+    window: int = 20,
+    threshold: int = 5,
+    node_false_alarm_prob: float = 1e-4,
+    max_window_fa_probability: float = 1e-3,
+    max_sensors: int = 600,
+) -> ExperimentRecord:
+    """EXT-DESIGN: invert the model — fleet sizing from requirements.
+
+    The paper's closing argument made executable: for each detection
+    requirement, the smallest fleet meeting it at the fixed rule
+    (:func:`repro.core.design.minimum_sensors`), and the joint
+    ``(N, k)`` design under a false-alarm budget
+    (:func:`repro.core.design.design_deployment`).  Analysis-only; the
+    candidate scans run on the batched kernel, so the whole table costs
+    a handful of grid evaluations rather than thousands of scalar
+    pipelines.
+    """
+    from repro.core.design import design_deployment, minimum_sensors
+
+    template = onr_scenario(
+        num_sensors=max_sensors,
+        speed=speed,
+        window=window,
+        threshold=threshold,
+    )
+    record = ExperimentRecord(
+        experiment_id="EXT-DESIGN",
+        title="Deployment design: minimal fleets for detection requirements",
+        parameters={
+            "speed": speed,
+            "window": window,
+            "threshold": threshold,
+            "node_false_alarm_prob": node_false_alarm_prob,
+            "max_window_fa_probability": max_window_fa_probability,
+            "max_sensors": max_sensors,
+        },
+    )
+    for required in requirements:
+        fixed_rule = minimum_sensors(
+            template, required, max_sensors=max_sensors
+        )
+        joint = design_deployment(
+            template,
+            required,
+            node_false_alarm_prob,
+            max_window_fa_probability,
+            max_sensors=max_sensors,
+        )
+        record.add_row(
+            required_probability=required,
+            min_sensors_fixed_rule=fixed_rule,
+            joint_sensors=None if joint is None else joint.scenario.num_sensors,
+            joint_threshold=None if joint is None else joint.scenario.threshold,
+            joint_detection=(
+                None if joint is None else joint.detection_probability
+            ),
+            joint_window_false_alarm=(
+                None if joint is None else joint.window_false_alarm_probability
+            ),
+        )
     return record
 
 

@@ -25,10 +25,25 @@ experiment computes do) for resume to be lossless.  Numpy scalars and
 arrays, which simulator-derived rows naturally contain, are coerced to
 plain Python numbers/lists on write — equal in value, though a resumed
 row holds ``float`` where the fresh row held ``np.float64``.
+
+Batched analytical sweeps
+-------------------------
+
+:func:`analytical_grid_sweep` evaluates the M-S-approach over a grid of
+scenario fields.  When every swept axis is in :data:`BATCHED_FIELDS`
+(``num_sensors`` and ``threshold`` — the axes the Eq. 12 chain can
+broadcast over), the whole grid is answered by one
+:class:`repro.core.batched.BatchedMarkovSpatialAnalysis` evaluation; any
+other axis falls back to per-point evaluation (counted in the
+``batch.fallbacks`` obs counter).  Both paths run through the same
+checkpoint/resume engine and — because the per-point path evaluates the
+*same* batched kernel on singleton axes, and that kernel is
+batch-invariant — produce **byte-identical** row and checkpoint JSON.
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
@@ -38,10 +53,16 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro import obs
-from repro.errors import SimulationError
+from repro.errors import AnalysisError, SimulationError
 from repro.parallel import parallel_map
 
-__all__ = ["sweep", "grid_sweep"]
+__all__ = ["BATCHED_FIELDS", "analytical_grid_sweep", "sweep", "grid_sweep"]
+
+#: Scenario fields the batched kernel can broadcast over: the occupancy
+#: binomial's ``N`` and the detection rule's ``k``.  Any other swept field
+#: changes the region geometry or detection physics and forces the
+#: per-point path.
+BATCHED_FIELDS = ("num_sensors", "threshold")
 
 _CHECKPOINT_VERSION = 1
 
@@ -257,6 +278,178 @@ def grid_sweep(
         del bound[name]
 
     recurse(0, {})
+    return _run_points(
+        points,
+        compute,
+        workers=workers,
+        kwargs_items=True,
+        checkpoint=checkpoint,
+        timeout=timeout,
+        max_retries=max_retries,
+    )
+
+
+def _grid_points(grids: Dict[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Row-major cartesian points, exactly as :func:`grid_sweep` builds them."""
+    names = list(grids)
+    points: List[Dict[str, Any]] = []
+
+    def recurse(index: int, bound: Dict[str, Any]) -> None:
+        if index == len(names):
+            points.append(dict(bound))
+            return
+        name = names[index]
+        for value in grids[name]:
+            bound[name] = value
+            recurse(index + 1, bound)
+        del bound[name]
+
+    recurse(0, {})
+    return points
+
+
+def _analytical_point(
+    scenario: Any,
+    body_truncation: int,
+    head_truncation: Optional[int],
+    substeps: int,
+    normalize: bool,
+    **point: Any,
+) -> Dict[str, Any]:
+    """One analytical sweep row, evaluated on the batched kernel.
+
+    Module-level (hence picklable for ``workers > 1``).  Uses the batched
+    engine on singleton axes rather than the scalar
+    ``MarkovSpatialAnalysis`` so that per-point rows are **bitwise** equal
+    to the corresponding batched-grid rows (the kernel is
+    batch-invariant; the scalar engine associates its convolutions
+    differently and agrees only to 1e-12).
+    """
+    from repro.core.batched import BatchedMarkovSpatialAnalysis
+
+    threshold = point.get("threshold")
+    replacements = {
+        name: value for name, value in point.items() if name != "threshold"
+    }
+    target = scenario.replace(**replacements) if replacements else scenario
+    engine = BatchedMarkovSpatialAnalysis(
+        target,
+        body_truncation=body_truncation,
+        head_truncation=head_truncation,
+        substeps=substeps,
+    )
+    value = engine.detection_probability(
+        threshold=threshold, normalize=normalize
+    )
+    row = dict(point)
+    row["detection_probability"] = value
+    return row
+
+
+def analytical_grid_sweep(
+    scenario: Any,
+    grids: Dict[str, Sequence[Any]],
+    body_truncation: int = 3,
+    head_truncation: Optional[int] = None,
+    substeps: int = 1,
+    normalize: bool = True,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    batch: Any = "auto",
+) -> List[Dict[str, Any]]:
+    """Sweep the M-S-approach ``P_M[X >= k]`` over a grid of scenario fields.
+
+    Args:
+        scenario: the template :class:`~repro.core.scenario.Scenario`;
+            fields not swept keep its values.
+        grids: mapping from scenario field name to the values it takes;
+            rows come back in row-major (first key slowest) order, one
+            per point, as ``{**point, "detection_probability": p}``.
+        body_truncation / head_truncation / substeps: analysis parameters,
+            as on :class:`~repro.core.markov_spatial.MarkovSpatialAnalysis`.
+        normalize: Eq. 13 normalisation (as on ``detection_probability``).
+        workers: process count for the *per-point* path; the batched path
+            is a single vectorised evaluation and ignores it.
+        checkpoint: optional JSON path, same format and resume semantics
+            as :func:`grid_sweep` — and byte-identical between the two
+            dispatch paths.
+        timeout / max_retries: per-point pool options (per-point path).
+        batch: ``"auto"`` (default) dispatches to the batched kernel when
+            every swept field is in :data:`BATCHED_FIELDS`; ``False``
+            forces per-point evaluation; ``True`` requires the batched
+            path and raises :class:`~repro.errors.AnalysisError` if an
+            axis prevents it.
+
+    Raises:
+        AnalysisError: for a field the scenario does not have, or
+            ``batch=True`` with a non-batchable axis.
+    """
+    if not grids:
+        raise AnalysisError("grids must name at least one scenario field")
+    unknown = [
+        name for name in grids if not hasattr(scenario, name)
+    ]
+    if unknown:
+        raise AnalysisError(
+            f"unknown scenario field(s) {unknown}; sweepable fields are "
+            "the Scenario dataclass fields"
+        )
+    batchable = all(name in BATCHED_FIELDS for name in grids)
+    if batch is True and not batchable:
+        blocking = sorted(set(grids) - set(BATCHED_FIELDS))
+        raise AnalysisError(
+            f"batch=True but axis(es) {blocking} are not batchable; "
+            f"only {list(BATCHED_FIELDS)} broadcast through the kernel"
+        )
+    points = _grid_points(grids)
+    use_batched = batchable and batch is not False
+    if use_batched:
+        from repro.core.batched import BatchedMarkovSpatialAnalysis
+
+        num_sensors = list(grids.get("num_sensors", [scenario.num_sensors]))
+        thresholds = list(grids.get("threshold", [scenario.threshold]))
+        engine = BatchedMarkovSpatialAnalysis(
+            scenario,
+            body_truncation=body_truncation,
+            head_truncation=head_truncation,
+            substeps=substeps,
+        )
+        grid = engine.detection_probability_grid(
+            num_sensors=num_sensors,
+            thresholds=thresholds,
+            normalize=normalize,
+        )
+        lookup = {}
+        for row_index, n in enumerate(num_sensors):
+            for col_index, k in enumerate(thresholds):
+                lookup[(n, k)] = float(grid[row_index, col_index])
+
+        def compute(**point: Any) -> Dict[str, Any]:
+            key = (
+                point.get("num_sensors", scenario.num_sensors),
+                point.get("threshold", scenario.threshold),
+            )
+            row = dict(point)
+            row["detection_probability"] = lookup[key]
+            return row
+
+        # The grid is already evaluated; the closure is a table lookup,
+        # so pool workers would only add pickling failures.
+        workers = 1
+    else:
+        ob = obs.current()
+        if ob.enabled:
+            ob.incr("batch.fallbacks", len(points))
+        compute = functools.partial(
+            _analytical_point,
+            scenario,
+            body_truncation,
+            head_truncation,
+            substeps,
+            normalize,
+        )
     return _run_points(
         points,
         compute,

@@ -279,29 +279,54 @@ def canonicalize_sweep(payload: Any) -> Dict[str, Any]:
 def compute_sweep(request: Dict[str, Any]) -> Dict[str, Any]:
     """Worker-side kernel for ``/sweep``.
 
-    The per-point analyses share the worker's process-wide analysis
-    cache, so a threshold sweep computes its geometry exactly once (the
-    same reuse ``repro.experiments.sweeps`` gets).
+    A ``num_sensors`` or ``threshold`` axis is answered by one
+    :class:`~repro.core.batched.BatchedMarkovSpatialAnalysis` evaluation
+    (one kernel call for the whole request); other axes change the
+    geometry or detection physics and run per point on the batched
+    kernel's singleton form, sharing the worker's process-wide analysis
+    cache.  Either way, rows are bitwise identical between the two
+    shapes because the kernel is batch-invariant.
     """
+    from repro.core.batched import BatchedMarkovSpatialAnalysis
+    from repro.experiments.sweeps import BATCHED_FIELDS
+
     base = request["scenario"]
+    parameter = request["parameter"]
     rows = []
-    for value in request["values"]:
-        point = dict(base)
-        point[request["parameter"]] = value
-        scenario = Scenario.from_dict(point)
-        analysis = MarkovSpatialAnalysis(
-            scenario,
+    if parameter in BATCHED_FIELDS:
+        engine = BatchedMarkovSpatialAnalysis(
+            Scenario.from_dict(base),
             body_truncation=request["body_truncation"],
             substeps=request["substeps"],
         )
-        rows.append(
-            {
-                request["parameter"]: value,
-                "detection_probability": analysis.detection_probability(),
-            }
-        )
+        axis = {("num_sensors" if parameter == "num_sensors" else "thresholds")
+                : list(request["values"])}
+        grid = engine.detection_probability_grid(**axis)
+        flat = grid[:, 0] if parameter == "num_sensors" else grid[0]
+        for value, probability in zip(request["values"], flat):
+            rows.append(
+                {
+                    parameter: value,
+                    "detection_probability": float(probability),
+                }
+            )
+    else:
+        for value in request["values"]:
+            point = dict(base)
+            point[parameter] = value
+            engine = BatchedMarkovSpatialAnalysis(
+                Scenario.from_dict(point),
+                body_truncation=request["body_truncation"],
+                substeps=request["substeps"],
+            )
+            rows.append(
+                {
+                    parameter: value,
+                    "detection_probability": engine.detection_probability(),
+                }
+            )
     return {
-        "parameter": request["parameter"],
+        "parameter": parameter,
         "rows": rows,
         "body_truncation": request["body_truncation"],
         "substeps": request["substeps"],

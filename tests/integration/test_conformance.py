@@ -1,0 +1,234 @@
+"""Statistical conformance suite: analytical engine vs Monte Carlo.
+
+A pinned corpus of scenarios — spanning sensor counts, thresholds,
+window lengths, speeds, detection probabilities, and one degraded
+(faulted) configuration — each checked by the same statistical contract:
+
+    the analytical ``P_M[X >= k]`` must lie inside the **Wilson 99%
+    score interval** of a 10,000-trial seeded Monte Carlo estimate.
+
+The Wilson interval half-width at 10k trials is roughly 1.3% at
+``p = 0.5``, so the suite fails when the model's truncation bias (or a
+kernel regression) drifts past sampling noise.  Every analytical value
+is produced by the **batched** kernel
+(:class:`repro.core.batched.BatchedMarkovSpatialAnalysis`), so this
+suite also pins the new engine — not just the scalar reference it was
+validated against — to ground truth.
+
+Scenarios were chosen where the M-S-approach is known to be accurate
+(V >= 10-style geometries; ``EXPERIMENTS.md`` records biases up to
+0.033 at V = 4, which would not fit inside the interval).  Each case is
+seeded, so reruns are deterministic; the ONR-scale case is marked
+``slow``.
+
+When the ``REPRO_CONFORMANCE_REPORT`` environment variable names a
+path, the suite writes a JSON report of every checked case there
+(pass or fail) — CI uploads it as an artifact when the job fails.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.core.batched import BatchedMarkovSpatialAnalysis
+from repro.core.scenario import Scenario
+from repro.experiments.presets import onr_scenario, small_scenario
+from repro.faults import FaultModel, degraded_detection_probability, degraded_scenario
+from repro.simulation.runner import MonteCarloSimulator
+
+#: Two-sided 99% normal quantile for the Wilson score interval.
+Z99 = 2.5758293035489004
+
+TRIALS = 10_000
+SEED = 20080617  # ICDCS 2008 opening day; any fixed seed would do.
+BODY_TRUNCATION = 4
+
+
+def wilson_interval(successes: int, trials: int, z: float = Z99):
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because it stays inside
+    ``[0, 1]`` and keeps coverage at the extreme probabilities some
+    corpus cases pin (e.g. the ONR point at ``p ~ 0.98``).
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half_width = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return centre - half_width, centre + half_width
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One pinned scenario of the corpus."""
+
+    name: str
+    scenario: Scenario
+    faults: Optional[FaultModel] = None
+
+
+def _corpus():
+    small = small_scenario()
+    cases = [
+        ConformanceCase("small-default", small),
+        ConformanceCase("small-n25-k2", small.replace(num_sensors=25, threshold=2)),
+        ConformanceCase("small-n60-k5", small.replace(num_sensors=60, threshold=5)),
+        ConformanceCase("small-v15", small.replace(target_speed=15.0)),
+        ConformanceCase("small-pd07", small.replace(detect_prob=0.7)),
+        ConformanceCase("small-k1", small.replace(threshold=1)),
+        ConformanceCase("small-m16-k6", small.replace(window=16, threshold=6)),
+        ConformanceCase(
+            "small-degraded-dropout20-silent10",
+            small,
+            faults=FaultModel(dropout_rate=0.2, stuck_silent_frac=0.1),
+        ),
+    ]
+    params = [pytest.param(case, id=case.name) for case in cases]
+    params.append(
+        pytest.param(
+            ConformanceCase(
+                "onr-v10-n240-k5", onr_scenario(num_sensors=240, speed=10.0)
+            ),
+            id="onr-v10-n240-k5",
+            marks=pytest.mark.slow,
+        )
+    )
+    return params
+
+
+def _analytical_probability(case: ConformanceCase) -> float:
+    """The model's prediction for the case, via the batched kernel."""
+    if case.faults is None:
+        return BatchedMarkovSpatialAnalysis(
+            case.scenario, body_truncation=BODY_TRUNCATION
+        ).detection_probability()
+    # Faulted: fold the fault model into an effective scenario and run
+    # the same kernel on it (mirrors degraded_detection_probability).
+    effective = degraded_scenario(case.scenario, case.faults)
+    probability = BatchedMarkovSpatialAnalysis(
+        effective, body_truncation=BODY_TRUNCATION
+    ).detection_probability()
+    # Cross-check against the scalar helper the fault experiments use.
+    reference = degraded_detection_probability(
+        case.scenario, case.faults, body_truncation=BODY_TRUNCATION
+    )
+    assert probability == pytest.approx(reference, abs=1e-12)
+    return probability
+
+
+@pytest.fixture(scope="module", autouse=True)
+def conformance_report():
+    """Collects per-case results; written as JSON after the module runs
+    when ``REPRO_CONFORMANCE_REPORT`` names a destination path."""
+    records = []
+    yield records
+    path = os.environ.get("REPRO_CONFORMANCE_REPORT")
+    if not path:
+        return
+    report = {
+        "suite": "analytical-vs-monte-carlo conformance",
+        "trials": TRIALS,
+        "seed": SEED,
+        "confidence": "wilson 99%",
+        "cases": records,
+        "passed": all(record["passed"] for record in records),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+class TestConformance:
+    @pytest.mark.parametrize("case", _corpus())
+    def test_analytical_inside_wilson_interval(self, case, conformance_report):
+        analytical = _analytical_probability(case)
+        result = MonteCarloSimulator(
+            case.scenario, trials=TRIALS, seed=SEED, faults=case.faults
+        ).run()
+        successes = int(
+            (result.report_counts >= case.scenario.threshold).sum()
+        )
+        low, high = wilson_interval(successes, TRIALS)
+        passed = low <= analytical <= high
+        conformance_report.append(
+            {
+                "case": case.name,
+                "num_sensors": case.scenario.num_sensors,
+                "threshold": case.scenario.threshold,
+                "window": case.scenario.window,
+                "faulted": case.faults is not None,
+                "analytical": analytical,
+                "simulated": successes / TRIALS,
+                "successes": successes,
+                "wilson_low": low,
+                "wilson_high": high,
+                "passed": passed,
+            }
+        )
+        assert passed, (
+            f"{case.name}: analytical {analytical:.4f} outside the Wilson "
+            f"99% interval [{low:.4f}, {high:.4f}] "
+            f"(simulated {successes / TRIALS:.4f} over {TRIALS} trials)"
+        )
+
+
+class TestWilsonHelper:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(4_200, 10_000)
+        assert low < 0.42 < high
+
+    def test_narrower_with_more_trials(self):
+        low_small, high_small = wilson_interval(42, 100)
+        low_large, high_large = wilson_interval(4_200, 10_000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_stays_inside_unit_interval_at_extremes(self):
+        low, high = wilson_interval(0, 10_000)
+        assert 0.0 <= low <= high <= 1.0
+        low, high = wilson_interval(10_000, 10_000)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+
+class TestReportWriting:
+    def test_report_written_when_env_set(self, tmp_path, monkeypatch):
+        """The report machinery itself, exercised without a Monte Carlo
+        run: a fresh collector seeded with one record must serialise on
+        fixture teardown."""
+        path = tmp_path / "conformance.json"
+        monkeypatch.setenv("REPRO_CONFORMANCE_REPORT", str(path))
+        generator = conformance_report.__wrapped__()
+        records = next(generator)
+        records.append(
+            {
+                "case": "synthetic",
+                "analytical": 0.5,
+                "simulated": 0.5,
+                "passed": True,
+            }
+        )
+        with pytest.raises(StopIteration):
+            next(generator)
+        report = json.loads(path.read_text())
+        assert report["passed"] is True
+        assert report["cases"][0]["case"] == "synthetic"
+        assert report["trials"] == TRIALS

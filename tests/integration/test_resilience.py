@@ -359,3 +359,74 @@ class TestFaultExperimentSmoke:
         for row in record.rows:
             assert 0.0 <= row["analysis"] <= 1.0
             assert 0.0 <= row["simulation"] <= 1.0
+
+
+class TestBatchedSweepResilience:
+    def test_killed_batched_sweep_resumes_to_identical_rows(self, tmp_path):
+        """Acceptance: a checkpointed *batched* analytical sweep killed
+        mid-write resumes to the uninterrupted run's rows — and, because
+        the two dispatch paths are byte-identical, may resume on either
+        path."""
+        checkpoint = tmp_path / "batched.json"
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.experiments import sweeps
+            from repro.experiments.presets import small_scenario
+
+            original = sweeps._write_checkpoint
+            state = {"writes": 0}
+
+            def dying_write(path, fingerprint, completed):
+                original(path, fingerprint, completed)
+                state["writes"] += 1
+                if state["writes"] == 2:
+                    os._exit(1)  # the "power cut", two rows in
+
+            sweeps._write_checkpoint = dying_write
+            sweeps.analytical_grid_sweep(
+                small_scenario(),
+                {"num_sensors": [20, 40], "threshold": [1, 2]},
+                checkpoint=sys.argv[1],
+            )
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(checkpoint)],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1, proc.stderr
+        survived = sorted(
+            int(k)
+            for k in json.loads(checkpoint.read_text())["completed"]
+        )
+        assert survived == [0, 1]  # exactly the two persisted rows
+
+        from repro.experiments.presets import small_scenario
+        from repro.experiments.sweeps import analytical_grid_sweep
+
+        grids = {"num_sensors": [20, 40], "threshold": [1, 2]}
+        with obs.instrument() as ob:
+            resumed = analytical_grid_sweep(
+                small_scenario(), grids, checkpoint=str(checkpoint)
+            )
+            manifest = ob.manifest()
+        uninterrupted = analytical_grid_sweep(small_scenario(), grids)
+        assert resumed == uninterrupted
+        assert manifest["counters"]["sweep.points_from_checkpoint"] == 2
+        (resume_event,) = [
+            e for e in ob.events if e["name"] == "sweep.resume"
+        ]
+        assert resume_event["from_checkpoint"] == [0, 1]
+        # And the per-point path resumes from the same file byte-for-byte.
+        per_point = analytical_grid_sweep(
+            small_scenario(), grids, batch=False, checkpoint=str(checkpoint)
+        )
+        assert per_point == uninterrupted

@@ -71,6 +71,12 @@ class TestMain:
         assert payload["experiment_id"] == "FIG8"
         assert payload["rows"]
 
+    def test_design_experiment(self, capsys):
+        assert main(["design", "--max-sensors", "250"]) == 0
+        out = capsys.readouterr().out
+        assert "EXT-DESIGN" in out
+        assert "joint_sensors" in out
+
     def test_small_simulation_experiment(self, capsys):
         # Keep trials tiny so the test stays fast.
         assert main(["boundary", "--trials", "50", "--seed", "3"]) == 0

@@ -179,6 +179,20 @@ class TestNewerExperiments:
         )
         assert len(record.rows) == 4
 
+    def test_deployment_design(self):
+        record = figures.deployment_design_experiment(
+            requirements=(0.5, 0.9), max_sensors=300
+        )
+        assert len(record.rows) == 2
+        for row in record.rows:
+            # The joint design trades threshold slack for sensors, so it
+            # never needs more nodes than the fixed-rule inversion.
+            assert row["joint_sensors"] <= row["min_sensors_fixed_rule"]
+            assert row["joint_detection"] >= row["required_probability"]
+        assert (
+            record.rows[0]["joint_sensors"] <= record.rows[1]["joint_sensors"]
+        )
+
     def test_instantaneous_vs_group(self):
         record = figures.instantaneous_vs_group_experiment(node_counts=(150,))
         row = record.rows[0]

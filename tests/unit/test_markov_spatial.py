@@ -146,6 +146,32 @@ class TestDetectionProbability:
     def test_threshold_beyond_support(self, analysis):
         assert analysis.detection_probability(threshold=10_000) == 0.0
 
+    def test_threshold_at_exact_support_edge(self, analysis):
+        """``k == distribution.size`` must take the beyond-support branch
+        (``dist[k:]`` would be an empty-but-valid slice one index later)."""
+        size = analysis.report_count_distribution().size
+        assert analysis.detection_probability(threshold=size) == 0.0
+        assert analysis.detection_probability(threshold=size - 1) >= 0.0
+
+    def test_zero_mass_error_names_truncations(self, tiny):
+        """With truncations that capture no mass, the normalised result is
+        undefined; the error must name the offending parameters so a user
+        can fix their configuration without reading the source."""
+        starved = MarkovSpatialAnalysis(
+            tiny.replace(num_sensors=500_000),
+            body_truncation=1,
+            head_truncation=1,
+        )
+        with pytest.raises(AnalysisError) as excinfo:
+            starved.detection_probability()
+        message = str(excinfo.value)
+        assert "num_sensors=500000" in message
+        assert "g=1" in message and "gh=1" in message
+        assert "substeps=1" in message
+        assert "increase the truncations" in message
+        # The unnormalised tail is still well-defined (it is just zero).
+        assert starved.detection_probability(normalize=False) == 0.0
+
 
 class TestSubsteps:
     """Section 3.4.5's sketched refinement: slice each NEDR into substeps."""

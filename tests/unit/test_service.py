@@ -563,6 +563,39 @@ class TestRealEndpoints:
 
         run(main())
 
+    def test_batched_sweep_axis_matches_scalar_analysis(self):
+        """``num_sensors`` sweeps take the one-grid-call batched path in
+        the handler; each row must still match the scalar engine."""
+        from repro.core.markov_spatial import MarkovSpatialAnalysis
+        from repro.core.scenario import Scenario
+
+        async def main():
+            service = self._service()
+            counts = [60, 120, 240]
+            body = json.dumps(
+                {
+                    "scenario": SCENARIO,
+                    "parameter": "num_sensors",
+                    "values": counts,
+                }
+            ).encode()
+            status, _, payload = await service.dispatch("POST", "/sweep", body)
+            assert status == 200
+            rows = json.loads(payload)["rows"]
+            assert [row["num_sensors"] for row in rows] == counts
+            for row in rows:
+                scenario = Scenario.from_dict(
+                    {**SCENARIO, "num_sensors": row["num_sensors"]}
+                )
+                reference = MarkovSpatialAnalysis(
+                    scenario, 3
+                ).detection_probability()
+                assert row["detection_probability"] == pytest.approx(
+                    reference, abs=1e-12
+                )
+
+        run(main())
+
     def test_equivalent_payload_spellings_share_a_cache_line(self):
         async def main():
             service = self._service()

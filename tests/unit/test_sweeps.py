@@ -5,8 +5,8 @@ import json
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
-from repro.experiments.sweeps import grid_sweep, sweep
+from repro.errors import AnalysisError, SimulationError
+from repro.experiments.sweeps import analytical_grid_sweep, grid_sweep, sweep
 
 
 def _square(value):
@@ -147,3 +147,108 @@ class TestCheckpointing:
         rows = sweep(list(range(5)), _square, workers=2, checkpoint=str(path))
         assert rows == sweep(list(range(5)), _square)
         assert len(json.loads(path.read_text())["completed"]) == 5
+
+
+class TestAnalyticalGridSweep:
+    """Batched dispatch vs per-point fallback of analytical_grid_sweep."""
+
+    @pytest.fixture
+    def scenario(self, small):
+        return small
+
+    def test_rows_row_major_with_detection_column(self, scenario):
+        rows = analytical_grid_sweep(
+            scenario, {"num_sensors": [20, 40], "threshold": [1, 2]}
+        )
+        assert [(r["num_sensors"], r["threshold"]) for r in rows] == [
+            (20, 1), (20, 2), (40, 1), (40, 2),
+        ]
+        assert all(0.0 <= r["detection_probability"] <= 1.0 for r in rows)
+
+    def test_batched_and_per_point_rows_byte_identical(self, scenario):
+        grids = {"num_sensors": [20, 40, 60], "threshold": [1, 3]}
+        batched = analytical_grid_sweep(scenario, grids)
+        per_point = analytical_grid_sweep(scenario, grids, batch=False)
+        assert json.dumps(batched) == json.dumps(per_point)
+
+    def test_checkpoints_byte_identical_across_paths(self, scenario, tmp_path):
+        grids = {"num_sensors": [20, 40], "threshold": [1, 2, 3]}
+        batched_path = tmp_path / "batched.json"
+        per_point_path = tmp_path / "per_point.json"
+        analytical_grid_sweep(scenario, grids, checkpoint=str(batched_path))
+        analytical_grid_sweep(
+            scenario, grids, batch=False, checkpoint=str(per_point_path)
+        )
+        assert batched_path.read_bytes() == per_point_path.read_bytes()
+
+    def test_resume_from_per_point_checkpoint_into_batched(
+        self, scenario, tmp_path
+    ):
+        """The checkpoint format is path-independent, so a sweep may resume
+        under the other dispatch mode."""
+        grids = {"num_sensors": [20, 40], "threshold": [1, 2]}
+        path = tmp_path / "ck.json"
+        rows = analytical_grid_sweep(
+            scenario, grids, batch=False, checkpoint=str(path)
+        )
+        resumed = analytical_grid_sweep(scenario, grids, checkpoint=str(path))
+        assert resumed == rows
+
+    def test_fallback_on_non_batchable_axis(self, scenario):
+        rows = analytical_grid_sweep(
+            scenario, {"detect_prob": [0.5, 0.9], "threshold": [2]}
+        )
+        assert len(rows) == 2
+        assert (
+            rows[0]["detection_probability"] < rows[1]["detection_probability"]
+        )
+
+    def test_batch_true_rejects_non_batchable_axis(self, scenario):
+        with pytest.raises(AnalysisError, match="not batchable"):
+            analytical_grid_sweep(
+                scenario, {"detect_prob": [0.5]}, batch=True
+            )
+
+    def test_unknown_field_rejected(self, scenario):
+        with pytest.raises(AnalysisError, match="unknown scenario field"):
+            analytical_grid_sweep(scenario, {"bogus": [1]})
+        with pytest.raises(AnalysisError, match="at least one"):
+            analytical_grid_sweep(scenario, {})
+
+    def test_per_point_path_supports_workers(self, scenario):
+        grids = {"num_sensors": [20, 40], "threshold": [1, 2]}
+        serial = analytical_grid_sweep(scenario, grids, batch=False)
+        parallel = analytical_grid_sweep(
+            scenario, grids, batch=False, workers=2
+        )
+        assert serial == parallel
+
+    def test_normalize_false_matches_scalar(self, scenario):
+        from repro.core.markov_spatial import MarkovSpatialAnalysis
+
+        rows = analytical_grid_sweep(
+            scenario, {"threshold": [2]}, normalize=False
+        )
+        reference = MarkovSpatialAnalysis(scenario).detection_probability(
+            threshold=2, normalize=False
+        )
+        assert rows[0]["detection_probability"] == pytest.approx(
+            reference, abs=1e-12
+        )
+
+    def test_obs_counters_for_both_paths(self, scenario):
+        from repro import obs
+
+        instrumentation = obs.Instrumentation()
+        with obs.activate(instrumentation):
+            analytical_grid_sweep(
+                scenario, {"num_sensors": [20, 40], "threshold": [1, 2]}
+            )
+            analytical_grid_sweep(scenario, {"detect_prob": [0.5, 0.9]})
+        counters = instrumentation.counters
+        # Every point is answered by the kernel (4 from the one grid call,
+        # 2 from the fallback's singleton evaluations); only the latter
+        # are also counted as fallbacks.
+        assert counters["batch.points"] == 6
+        assert counters["batch.fallbacks"] == 2
+        assert counters["sweep.points"] == 6
