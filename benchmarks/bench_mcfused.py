@@ -1,0 +1,135 @@
+"""PERF-MCFUSED: fused trials×grid Monte Carlo vs per-point runs.
+
+Times the two ways of simulating a ``num_sensors`` axis on the paper's
+validation scenario at equal trials per point:
+
+* **per-point** — one :class:`MonteCarloSimulator` run per fleet size,
+  the pre-fusion sweep cost (each run deploys and evaluates its own
+  ``N`` sensors);
+* **fused** — one :class:`FusedMonteCarloEngine` pass deploying
+  ``N_max`` sensors per trial and reading every smaller ``N`` off the
+  deployment prefix (common random numbers).
+
+The ISSUE 6 acceptance gate: on an 8-point axis the fused pass must be
+**>= 3x** faster, asserted here so the committed record can never drift
+from a run that missed it.  The arithmetic ceiling is
+``sum(N_i) / N_max`` (~4.5x on the default axis) — the fused pass does
+one ``N_max``-wide evaluation where the per-point loop does eight.
+
+Correctness riders recorded alongside the timing: the fused ``N_max``
+column is **bitwise** equal to the per-point run at ``N_max`` (same
+seed and batch size), and every other column agrees with its
+independent per-point estimate to Monte Carlo noise.
+
+Environment knobs: ``REPRO_BENCH_TRIALS`` / ``REPRO_BENCH_SEED``
+(see ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.presets import onr_scenario
+from repro.experiments.records import ExperimentRecord
+from repro.simulation.fused import FusedMonteCarloEngine
+from repro.simulation.runner import MonteCarloSimulator
+
+#: Required fused speedup over the per-point loop on the 8-point axis.
+MIN_SPEEDUP = 3.0
+
+#: The Fig. 9-style fleet-size axis (8 points, N_max = 240).
+NUM_SENSORS_AXIS = [30, 60, 90, 120, 150, 180, 210, 240]
+
+#: Loose statistical envelope between two independent estimates of the
+#: same probability at the bench trial count (|diff| ~ 3 sigma at 2000
+#: trials); the N_max column is held to bitwise equality instead.
+STATISTICAL_ATOL = 0.06
+
+
+def test_fused_axis_speedup(emit_record):
+    trials = bench_trials()
+    seed = bench_seed()
+    threshold = 5
+    scenario = onr_scenario(
+        num_sensors=NUM_SENSORS_AXIS[0], speed=10.0, threshold=threshold
+    )
+
+    # Warm-up both code paths on a throwaway configuration.
+    MonteCarloSimulator(scenario, trials=50, seed=seed).run()
+    FusedMonteCarloEngine(
+        scenario, num_sensors=NUM_SENSORS_AXIS[:2], trials=50, seed=seed
+    ).run()
+
+    start = time.perf_counter()
+    per_point = []
+    for count in NUM_SENSORS_AXIS:
+        result = MonteCarloSimulator(
+            scenario.replace(num_sensors=count), trials=trials, seed=seed
+        ).run()
+        per_point.append(result)
+    per_point_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fused = FusedMonteCarloEngine(
+        scenario,
+        num_sensors=NUM_SENSORS_AXIS,
+        thresholds=[threshold],
+        trials=trials,
+        seed=seed,
+    ).run()
+    fused_seconds = time.perf_counter() - start
+
+    # Correctness riders: the bitwise anchor at N_max, statistical
+    # agreement everywhere else.
+    assert (
+        fused.report_counts[:, -1] == per_point[-1].report_counts
+    ).all(), "fused N_max column drifted off the plain simulator stream"
+    fused_probabilities = fused.detection_probability_grid()[:, 0]
+    deviations = np.abs(
+        fused_probabilities
+        - [r.detection_probability for r in per_point]
+    )
+    assert deviations.max() <= STATISTICAL_ATOL, (
+        f"fused axis deviates from per-point runs by {deviations.max():.3f}"
+    )
+
+    speedup = per_point_seconds / fused_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused evaluation of the {len(NUM_SENSORS_AXIS)}-point axis is "
+        f"only {speedup:.1f}x faster than per-point runs "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )
+
+    record = ExperimentRecord(
+        experiment_id="PERF-MCFUSED",
+        title="Fused trials×grid Monte Carlo vs per-point simulator runs",
+        parameters={
+            "num_sensors_axis": NUM_SENSORS_AXIS,
+            "threshold": threshold,
+            "trials": trials,
+            "seed": seed,
+            "speed": 10.0,
+            "arithmetic_ceiling": sum(NUM_SENSORS_AXIS)
+            / max(NUM_SENSORS_AXIS),
+            "cpu_count": os.cpu_count(),
+        },
+    )
+    record.add_row(
+        path="per_point",
+        seconds=per_point_seconds,
+        per_point_ms=per_point_seconds / len(NUM_SENSORS_AXIS) * 1e3,
+        speedup=1.0,
+        max_abs_deviation=0.0,
+    )
+    record.add_row(
+        path="fused",
+        seconds=fused_seconds,
+        per_point_ms=fused_seconds / len(NUM_SENSORS_AXIS) * 1e3,
+        speedup=speedup,
+        max_abs_deviation=float(deviations.max()),
+    )
+    emit_record(record)

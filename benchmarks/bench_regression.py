@@ -13,7 +13,13 @@ recorded ``cpu_count=1`` serial baseline:
   broken cache key silently recomputing every geometry;
 * whole-grid batched time on the recorded PERF-BATCH axes — catches the
   batched kernel degrading back toward per-point cost (e.g. an
-  accidentally quadratic convolution loop or a disabled grid memo).
+  accidentally quadratic convolution loop or a disabled grid memo);
+* the PERF-KERNEL FFT-vs-reference speedup on the recorded stack shape —
+  catches the ``auto`` dispatcher silently losing the FFT path (a guard
+  mis-tuned to reject pmf rows, a threshold typo) as well as a slow FFT;
+* whole-axis fused Monte Carlo time on the recorded PERF-MCFUSED axis —
+  catches the fused engine degrading back toward per-point cost (e.g. a
+  prefix cumsum replaced by a per-``N`` re-evaluation).
 
 The 3x envelope absorbs host-speed differences between the recording
 machine and CI runners while still catching order-of-magnitude
@@ -150,4 +156,74 @@ def test_batched_grid_time_vs_recorded_baseline():
         f"{len(num_sensors) * len(thresholds)}-point grid took "
         f"{seconds * 1e3:.1f} ms, exceeding {REGRESSION_FACTOR}x the "
         f"recorded baseline {baseline_seconds * 1e3:.1f} ms"
+    )
+
+
+def test_fft_kernel_speedup_vs_recorded_baseline():
+    baseline = _load_baseline("perf-kernel.json")
+    fft_rows = [row for row in baseline.rows if row["backend"] == "fft"]
+    assert fft_rows, "perf-kernel.json has no fft row"
+    recorded_speedup = fft_rows[0]["speedup"]
+
+    import numpy as np
+
+    from repro.core.kernels import batch_convolve
+
+    rows = baseline.parameters["rows"]
+    width = baseline.parameters["width"]
+    rng = np.random.default_rng(20080617)
+    raw_a = rng.random((rows, width))
+    raw_b = rng.random((rows, width))
+    a = raw_a / raw_a.sum(axis=1, keepdims=True)
+    b = raw_b / raw_b.sum(axis=1, keepdims=True)
+
+    def timed(backend, repeats=10):
+        batch_convolve(a, b, backend=backend)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            batch_convolve(a, b, backend=backend)
+        return (time.perf_counter() - start) / repeats
+
+    # 'auto' must still take the FFT path on the recorded shape: its
+    # speedup over the reference loop may shrink by the regression
+    # factor but must not collapse toward 1x.
+    speedup = timed("reference") / timed("auto")
+    assert speedup >= recorded_speedup / REGRESSION_FACTOR, (
+        f"auto-dispatched convolution at width {width} is only "
+        f"{speedup:.1f}x faster than shift-and-add; the recorded "
+        f"baseline is {recorded_speedup:.1f}x "
+        f"(regression envelope {REGRESSION_FACTOR}x)"
+    )
+
+
+def test_fused_axis_time_vs_recorded_baseline():
+    baseline = _load_baseline("perf-mcfused.json")
+    fused_rows = [row for row in baseline.rows if row["path"] == "fused"]
+    assert fused_rows, "perf-mcfused.json has no fused row"
+    baseline_per_trial = fused_rows[0]["seconds"] / baseline.parameters["trials"]
+
+    from repro.simulation.fused import FusedMonteCarloEngine
+
+    axis = baseline.parameters["num_sensors_axis"]
+    scenario = onr_scenario(
+        num_sensors=axis[0],
+        speed=baseline.parameters["speed"],
+        threshold=baseline.parameters["threshold"],
+    )
+    engine = FusedMonteCarloEngine(
+        scenario,
+        num_sensors=axis,
+        thresholds=[baseline.parameters["threshold"]],
+        trials=SMOKE_TRIALS,
+        seed=baseline.parameters["seed"],
+    )
+    engine.run()  # warm-up
+    start = time.perf_counter()
+    engine.run()
+    per_trial = (time.perf_counter() - start) / SMOKE_TRIALS
+
+    assert per_trial <= REGRESSION_FACTOR * baseline_per_trial, (
+        f"fused per-trial time {per_trial * 1e3:.3f} ms on the recorded "
+        f"{len(axis)}-point axis exceeds {REGRESSION_FACTOR}x the "
+        f"recorded baseline {baseline_per_trial * 1e3:.3f} ms"
     )

@@ -18,7 +18,8 @@ stage report pmfs         subarea bytes + ``field_area``, ``num_sensors``,
                           ``detect_prob``, truncation, substeps
 batched report grids      ``sensing_range``, ``step_length``, ``window``,
                           ``field_area``, ``detect_prob``, truncations,
-                          substeps + the ``N``-axis bytes (not ``k``)
+                          substeps, resolved kernel backend + the
+                          ``N``-axis bytes (not ``k``)
 Monte Carlo area est.     ``sensing_range``, ``step_length``, periods,
                           samples, integer seed (uncached otherwise)
 ========================  ====================================================
@@ -355,16 +356,18 @@ def grid_key(
     head_truncation: int,
     substeps: int,
     num_sensors,
+    backend: str = "reference",
 ) -> Tuple:
     """Cache key for a batched report-count distribution stack.
 
     Keyed by everything the Eq. 12 chain depends on *except* the
     threshold: the region geometry (``Rs``, ``V * t``), the stage count
-    ``M``, the occupancy/detection parameters, the truncations, and the
+    ``M``, the occupancy/detection parameters, the truncations, the
     ``N`` axis itself (byte-exact, order included — rows of the cached
-    stack line up with the axis).  ``k`` is answered from the cached
-    stack by a survival lookup, so — as everywhere in this cache — it
-    appears in no key.
+    stack line up with the axis), and the resolved kernel ``backend``
+    (different kernels round differently, so their stacks must never
+    alias).  ``k`` is answered from the cached stack by a survival
+    lookup, so — as everywhere in this cache — it appears in no key.
     """
     counts = np.ascontiguousarray(num_sensors, dtype=int)
     return (
@@ -378,4 +381,5 @@ def grid_key(
         int(head_truncation),
         int(substeps),
         counts.tobytes(),
+        str(backend),
     )

@@ -20,22 +20,30 @@ sharing their geometry (``Rs``, ``V * t``, ``M``) and detection physics
   scenario (a reverse cumulative sum), instead of one full pipeline per
   ``k``.
 
-Batch invariance
-----------------
+Batch invariance and kernel backends
+------------------------------------
 
 Every kernel reduction runs in a fixed per-row order that does not depend
-on the batch shape (no BLAS matrix products, no FFT convolution), so a
-grid evaluation and a sequence of singleton evaluations produce **bitwise
-identical** values row by row.  ``repro.experiments.sweeps`` relies on
-this: its batched and per-point dispatch paths must produce byte-identical
-checkpoint and record JSON.  Against the scalar
-:class:`MarkovSpatialAnalysis` the convolution *association* differs
-(squaring vs sequential), so agreement is to rounding error —
+on the batch shape, so a grid evaluation and a sequence of singleton
+evaluations produce **bitwise identical** values row by row.
+``repro.experiments.sweeps`` relies on this: its batched and per-point
+dispatch paths must produce byte-identical checkpoint and record JSON.
+The convolutions themselves are dispatched through
+:mod:`repro.core.kernels` under a ``backend=`` seam (``reference`` |
+``fft`` | ``auto`` | ``numba``): every backend computes rows
+independently, so batch invariance holds under all of them, but only
+``reference`` (and the jitted ``numba`` mirror of it) is bitwise-stable
+across releases — the FFT path re-associates the sums and agrees with the
+reference to its guarded round-off bound (< 1e-13 per call) instead.
+Against the scalar :class:`MarkovSpatialAnalysis` the convolution
+*association* differs under every backend (squaring vs sequential), so
+agreement there is to rounding error —
 ``tests/property/test_prop_batched.py`` pins the deviation at 1e-12.
 
 The per-``N`` report-count distributions are memoized in
 :func:`repro.cache.analysis_cache` under :func:`repro.cache.grid_key`
-(thresholds excluded, as everywhere in the cache), and each grid
+(thresholds excluded, as everywhere in the cache; the *resolved* backend
+included, so stacks from different kernels never alias), and each grid
 evaluation counts its points into the active instrumentation's
 ``batch.points`` counter.
 """
@@ -50,6 +58,12 @@ from scipy.special import gammaln
 
 from repro import obs
 from repro.cache import cached_array, grid_key
+from repro.core.kernels import (
+    batch_convolve,
+    batch_convolve_power,
+    normalize_backend,
+    resolve_backend,
+)
 from repro.core.regions import body_subareas, head_subareas, tail_subareas
 from repro.core.report_dist import conditional_report_pmf
 from repro.core.scenario import Scenario
@@ -119,56 +133,6 @@ def batched_binomial_pmf(
     return np.where(valid, pmf, 0.0)
 
 
-def batch_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Row-wise convolution of two pmf stacks.
-
-    Both inputs are ``(B, *)`` stacks; the result is
-    ``(B, a_len + b_len - 1)``.  Implemented as a shift-and-add loop over
-    the *shorter* operand so each row's accumulation order is fixed and
-    independent of ``B`` — the batch-invariance contract the sweep
-    dispatcher relies on.  (A BLAS product or FFT would be faster for
-    huge supports but reorders the sums per shape.)
-    """
-    a = np.asarray(a, dtype=float)
-    b = np.asarray(b, dtype=float)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[0] != b.shape[0]:
-        raise AnalysisError(
-            f"batch_convolve needs two (B, n) stacks, got {a.shape} and {b.shape}"
-        )
-    if b.shape[1] > a.shape[1]:
-        a, b = b, a
-    rows, width = a.shape
-    out = np.zeros((rows, width + b.shape[1] - 1))
-    for shift in range(b.shape[1]):
-        out[:, shift : shift + width] += a * b[:, shift : shift + 1]
-    return out
-
-
-def batch_convolve_power(base: np.ndarray, power: int) -> np.ndarray:
-    """Row-wise ``power``-fold self-convolution by binary exponentiation.
-
-    The batched counterpart of
-    :func:`repro.core.report_dist.convolution_power`: ``O(log power)``
-    stacked convolutions instead of ``power`` sequential ones.  ``power ==
-    0`` returns the unit pmf ``[1.0]`` in every row.
-    """
-    if power < 0:
-        raise AnalysisError(f"power must be non-negative, got {power}")
-    base = np.asarray(base, dtype=float)
-    if base.ndim != 2 or base.shape[1] == 0:
-        raise AnalysisError(
-            f"base must be a non-empty (B, n) stack, got shape {base.shape}"
-        )
-    result = np.ones((base.shape[0], 1))
-    while power:
-        if power & 1:
-            result = batch_convolve(result, base)
-        power >>= 1
-        if power:
-            base = batch_convolve(base, base)
-    return result
-
-
 def _int_axis(values: Iterable, name: str, minimum: int) -> np.ndarray:
     """Validate a grid axis of integers, preserving order (duplicates ok)."""
     out = []
@@ -198,9 +162,14 @@ class BatchedMarkovSpatialAnalysis:
     (same truncations, same ``substeps`` refinement, same ``M > ms``
     requirement) and the results match it point-by-point to 1e-12.
 
+    ``backend`` selects the convolution kernel (see
+    :mod:`repro.core.kernels`): ``None`` (the default) defers to the
+    process-wide default at evaluation time, so a CLI-level
+    ``--backend`` choice reaches engines constructed anywhere below it.
+
     Raises:
-        AnalysisError: on invalid truncations, ``substeps < 1``, or
-            ``M <= ms``.
+        AnalysisError: on invalid truncations, ``substeps < 1``,
+            ``M <= ms``, or an unknown ``backend`` name.
     """
 
     def __init__(
@@ -209,6 +178,7 @@ class BatchedMarkovSpatialAnalysis:
         body_truncation: int = 3,
         head_truncation: Optional[int] = None,
         substeps: int = 1,
+        backend: Optional[str] = None,
     ):
         if body_truncation < 1:
             raise AnalysisError(
@@ -233,6 +203,7 @@ class BatchedMarkovSpatialAnalysis:
         self._g = body_truncation
         self._gh = head_truncation
         self._substeps = substeps
+        self._backend = normalize_backend(backend)
 
     # ------------------------------------------------------------------
     # Parameters
@@ -257,6 +228,11 @@ class BatchedMarkovSpatialAnalysis:
     def substeps(self) -> int:
         """NEDR slices per stage (Section 3.4.5's refinement)."""
         return self._substeps
+
+    @property
+    def backend(self) -> Optional[str]:
+        """The requested kernel backend (``None`` = process default)."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # Stage pmf stacks
@@ -292,7 +268,11 @@ class BatchedMarkovSpatialAnalysis:
         return out
 
     def _batched_stage_pmf(
-        self, subareas: np.ndarray, truncation: int, counts: np.ndarray
+        self,
+        subareas: np.ndarray,
+        truncation: int,
+        counts: np.ndarray,
+        backend: str,
     ) -> np.ndarray:
         """Stage pmf stack, sliced ``substeps`` ways like the scalar path."""
         if self._substeps == 1:
@@ -304,7 +284,7 @@ class BatchedMarkovSpatialAnalysis:
         )
         combined = slice_pmf
         for _ in range(self._substeps - 1):
-            combined = batch_convolve(combined, slice_pmf)
+            combined = batch_convolve(combined, slice_pmf, backend=backend)
         return combined
 
     # ------------------------------------------------------------------
@@ -321,23 +301,29 @@ class BatchedMarkovSpatialAnalysis:
             return np.asarray([self._scenario.threshold], dtype=int)
         return _int_axis(thresholds, "thresholds", 0)
 
-    def _compute_distributions(self, counts: np.ndarray) -> np.ndarray:
+    def _compute_distributions(
+        self, counts: np.ndarray, backend: str
+    ) -> np.ndarray:
         scenario = self._scenario
         head = self._batched_stage_pmf(
-            head_subareas(scenario), self._gh, counts
+            head_subareas(scenario), self._gh, counts, backend
         )
         body = self._batched_stage_pmf(
-            body_subareas(scenario), self._g, counts
+            body_subareas(scenario), self._g, counts, backend
         )
         result = batch_convolve(
-            head, batch_convolve_power(body, scenario.body_steps)
+            head,
+            batch_convolve_power(body, scenario.body_steps, backend=backend),
+            backend=backend,
         )
         for tail_index in range(1, scenario.ms + 1):
             result = batch_convolve(
                 result,
                 self._batched_stage_pmf(
-                    tail_subareas(scenario, tail_index), self._g, counts
+                    tail_subareas(scenario, tail_index), self._g, counts,
+                    backend,
                 ),
+                backend=backend,
             )
         return result
 
@@ -345,15 +331,24 @@ class BatchedMarkovSpatialAnalysis:
         """``(B, L)`` stack of substochastic total-report-count pmfs.
 
         Row ``b`` is the Eq. 12 result distribution for
-        ``num_sensors[b]``; memoized per ``(geometry, N-axis)`` in the
-        process-wide analysis cache (read-only — copy before mutating).
+        ``num_sensors[b]``; memoized per ``(geometry, N-axis, backend)``
+        in the process-wide analysis cache (read-only — copy before
+        mutating).  The backend is resolved here — ``None`` picks up the
+        process default at call time — and keyed into the cache so
+        stacks from different kernels never alias.
         """
         counts = self._num_sensors_axis(num_sensors)
+        backend = resolve_backend(self._backend)
         return cached_array(
             grid_key(
-                self._scenario, self._g, self._gh, self._substeps, counts
+                self._scenario,
+                self._g,
+                self._gh,
+                self._substeps,
+                counts,
+                backend=backend,
             ),
-            lambda: self._compute_distributions(counts),
+            lambda: self._compute_distributions(counts, backend),
         )
 
     def survival_grid(self, num_sensors=None) -> np.ndarray:
@@ -451,6 +446,7 @@ def detection_probability_grid(
     head_truncation: Optional[int] = None,
     substeps: int = 1,
     normalize: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Functional form of
     :meth:`BatchedMarkovSpatialAnalysis.detection_probability_grid`."""
@@ -459,6 +455,7 @@ def detection_probability_grid(
         body_truncation=body_truncation,
         head_truncation=head_truncation,
         substeps=substeps,
+        backend=backend,
     ).detection_probability_grid(
         num_sensors=num_sensors, thresholds=thresholds, normalize=normalize
     )

@@ -12,6 +12,9 @@ All searches are over integers and use the model's monotonicities
 on :class:`repro.core.batched.BatchedMarkovSpatialAnalysis` — whole
 ``N`` chunks (or the whole ``k`` axis, answered from one survival
 function) per kernel call instead of one scalar pipeline per candidate.
+Every search accepts an optional ``backend=`` (see
+:mod:`repro.core.kernels`), forwarded to the batched engine; ``None``
+defers to the process-wide default.
 """
 
 from __future__ import annotations
@@ -42,7 +45,11 @@ __all__ = [
 _SCAN_CHUNK = 128
 
 
-def detection_probability(scenario: Scenario, truncation: int = 3) -> float:
+def detection_probability(
+    scenario: Scenario,
+    truncation: int = 3,
+    backend: Optional[str] = None,
+) -> float:
     """Model detection probability for a scenario (M-S-approach, Eq. 13).
 
     Evaluated on the batched kernel (singleton grid), so design-layer
@@ -51,7 +58,7 @@ def detection_probability(scenario: Scenario, truncation: int = 3) -> float:
     to 1e-12.
     """
     return BatchedMarkovSpatialAnalysis(
-        scenario, body_truncation=truncation
+        scenario, body_truncation=truncation, backend=backend
     ).detection_probability()
 
 
@@ -60,6 +67,7 @@ def minimum_sensors(
     required_probability: float,
     max_sensors: int = 2_000,
     truncation: int = 3,
+    backend: Optional[str] = None,
 ) -> Optional[int]:
     """Smallest ``N`` whose detection probability meets the requirement.
 
@@ -83,7 +91,9 @@ def minimum_sensors(
         )
     if max_sensors < 1:
         raise AnalysisError(f"max_sensors must be >= 1, got {max_sensors}")
-    engine = BatchedMarkovSpatialAnalysis(scenario, body_truncation=truncation)
+    engine = BatchedMarkovSpatialAnalysis(
+        scenario, body_truncation=truncation, backend=backend
+    )
     for start in range(1, max_sensors + 1, _SCAN_CHUNK):
         counts = list(range(start, min(start + _SCAN_CHUNK, max_sensors + 1)))
         column = engine.detection_probability_grid(num_sensors=counts)[:, 0]
@@ -97,6 +107,7 @@ def maximum_threshold(
     scenario: Scenario,
     required_probability: float,
     truncation: int = 3,
+    backend: Optional[str] = None,
 ) -> Optional[int]:
     """Largest ``k`` (false-alarm immunity) still meeting the requirement.
 
@@ -114,7 +125,7 @@ def maximum_threshold(
         range(1, scenario.num_sensors * (scenario.ms + 1) + 1)
     )
     row = BatchedMarkovSpatialAnalysis(
-        scenario, body_truncation=truncation
+        scenario, body_truncation=truncation, backend=backend
     ).detection_probability_grid(thresholds=thresholds)[0]
     failing = np.flatnonzero(row < required_probability)
     if failing.size == 0:
@@ -148,6 +159,7 @@ def design_deployment(
     max_window_fa_probability: float,
     max_sensors: int = 2_000,
     truncation: int = 3,
+    backend: Optional[str] = None,
 ) -> Optional[DesignPoint]:
     """Joint design: smallest ``N`` with the FA-safe ``k`` meeting detection.
 
@@ -178,7 +190,7 @@ def design_deployment(
     ]
     distinct = sorted(set(thresholds))
     grid = BatchedMarkovSpatialAnalysis(
-        template, body_truncation=truncation
+        template, body_truncation=truncation, backend=backend
     ).detection_probability_grid(num_sensors=counts, thresholds=distinct)
     column_of = {threshold: j for j, threshold in enumerate(distinct)}
     for i, (count, threshold) in enumerate(zip(counts, thresholds)):
@@ -202,6 +214,7 @@ def rule_frontier(
     scenario: Scenario,
     thresholds: range,
     truncation: int = 3,
+    backend: Optional[str] = None,
 ) -> List[DesignPoint]:
     """Detection probability along a sweep of ``k`` (fixed ``N``, ``M``).
 
@@ -219,7 +232,7 @@ def rule_frontier(
     if not ks:
         return []
     row = BatchedMarkovSpatialAnalysis(
-        scenario, body_truncation=truncation
+        scenario, body_truncation=truncation, backend=backend
     ).detection_probability_grid(thresholds=ks)[0]
     return [
         DesignPoint(

@@ -39,6 +39,24 @@ other axis falls back to per-point evaluation (counted in the
 checkpoint/resume engine and — because the per-point path evaluates the
 *same* batched kernel on singleton axes, and that kernel is
 batch-invariant — produce **byte-identical** row and checkpoint JSON.
+
+Fused simulated sweeps
+----------------------
+
+:func:`simulated_grid_sweep` is the Monte Carlo mirror: when every swept
+axis is in :data:`BATCHED_FIELDS`, the whole grid is answered by one
+:class:`repro.simulation.fused.FusedMonteCarloEngine` pass — one
+deployment at ``max(num_sensors)`` per trial, every smaller ``N`` read
+off the prefix under common random numbers, every ``k`` off the same
+per-trial totals.  Any other axis (or a scenario feature the fused
+engine does not model) falls back to one
+:class:`~repro.simulation.runner.MonteCarloSimulator` per point (counted
+in ``mc.fallbacks``).  Unlike the analytical sweep, the two dispatch
+paths are *not* byte-identical to each other — they consume randomness
+differently — except at ``N = max(num_sensors)``, where the fused
+column is bitwise equal to the per-point run with the same seed.  Each
+path is individually deterministic for a given seed, which is what the
+checkpoint contract needs.
 """
 
 from __future__ import annotations
@@ -56,7 +74,13 @@ from repro import obs
 from repro.errors import AnalysisError, SimulationError
 from repro.parallel import parallel_map
 
-__all__ = ["BATCHED_FIELDS", "analytical_grid_sweep", "sweep", "grid_sweep"]
+__all__ = [
+    "BATCHED_FIELDS",
+    "analytical_grid_sweep",
+    "simulated_grid_sweep",
+    "sweep",
+    "grid_sweep",
+]
 
 #: Scenario fields the batched kernel can broadcast over: the occupancy
 #: binomial's ``N`` and the detection rule's ``k``.  Any other swept field
@@ -449,6 +473,163 @@ def analytical_grid_sweep(
             head_truncation,
             substeps,
             normalize,
+        )
+    return _run_points(
+        points,
+        compute,
+        workers=workers,
+        kwargs_items=True,
+        checkpoint=checkpoint,
+        timeout=timeout,
+        max_retries=max_retries,
+    )
+
+
+def _simulated_point(
+    scenario: Any,
+    trials: int,
+    seed: Optional[int],
+    boundary: str,
+    batch_size: int,
+    **point: Any,
+) -> Dict[str, Any]:
+    """One simulated sweep row (module-level, hence picklable).
+
+    Every point runs with the *same* root seed — a crude
+    common-random-numbers scheme that keeps rows deterministic without
+    threading per-point seed material through the checkpoint format.
+    ``threshold`` never reaches the simulator (report counts do not
+    depend on it); it is applied to the finished trial counts.
+    """
+    from repro.simulation.runner import MonteCarloSimulator
+
+    threshold = point.get("threshold", scenario.threshold)
+    replacements = {
+        name: value for name, value in point.items() if name != "threshold"
+    }
+    target = scenario.replace(**replacements) if replacements else scenario
+    result = MonteCarloSimulator(
+        target,
+        trials=trials,
+        seed=seed,
+        boundary=boundary,
+        batch_size=batch_size,
+    ).run()
+    detections = int(np.count_nonzero(result.report_counts >= threshold))
+    row = dict(point)
+    row["trials"] = trials
+    row["detections"] = detections
+    row["detection_probability"] = detections / trials
+    return row
+
+
+def simulated_grid_sweep(
+    scenario: Any,
+    grids: Dict[str, Sequence[Any]],
+    trials: int = 10_000,
+    seed: Optional[int] = None,
+    boundary: str = "torus",
+    batch_size: int = 512,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fused: Any = "auto",
+) -> List[Dict[str, Any]]:
+    """Monte Carlo detection probability over a grid of scenario fields.
+
+    Args:
+        scenario: the template :class:`~repro.core.scenario.Scenario`.
+        grids: mapping from scenario field name to the values it takes;
+            rows come back in row-major order as ``{**point, "trials":
+            t, "detections": d, "detection_probability": d / t}``.
+        trials: trials per grid point (shared by *all* points on the
+            fused path — that is the common-random-numbers design).
+        seed: root seed; each dispatch path is deterministic for a given
+            seed, and the two paths agree bitwise at
+            ``N = max(num_sensors)``.
+        boundary / batch_size: as on :class:`MonteCarloSimulator`.
+        workers: on the fused path, trial shards
+            (:func:`repro.parallel.run_fused_parallel`); on the
+            per-point path, pool processes per point.
+        checkpoint: optional JSON path, same resume semantics as
+            :func:`grid_sweep`.  A checkpoint written by one dispatch
+            path must not resume the other (the fingerprint only covers
+            the point list), so pass ``fused=True`` / ``False`` rather
+            than ``"auto"`` when resuming matters.
+        timeout / max_retries: pool options (both paths).
+        fused: ``"auto"`` (default) dispatches to the fused engine when
+            every swept field is in :data:`BATCHED_FIELDS`; ``False``
+            forces per-point simulators; ``True`` requires the fused
+            path and raises :class:`~repro.errors.SimulationError` if an
+            axis prevents it.
+
+    Raises:
+        AnalysisError: for a field the scenario does not have.
+        SimulationError: ``fused=True`` with a non-fusable axis, or
+            invalid simulation parameters.
+    """
+    if not grids:
+        raise AnalysisError("grids must name at least one scenario field")
+    unknown = [name for name in grids if not hasattr(scenario, name)]
+    if unknown:
+        raise AnalysisError(
+            f"unknown scenario field(s) {unknown}; sweepable fields are "
+            "the Scenario dataclass fields"
+        )
+    fusable = all(name in BATCHED_FIELDS for name in grids)
+    if fused is True and not fusable:
+        blocking = sorted(set(grids) - set(BATCHED_FIELDS))
+        raise SimulationError(
+            f"fused=True but axis(es) {blocking} are not fusable; only "
+            f"{list(BATCHED_FIELDS)} ride one common-random-numbers pass"
+        )
+    points = _grid_points(grids)
+    if fusable and fused is not False:
+        from repro.simulation.fused import FusedMonteCarloEngine
+
+        num_sensors = list(grids.get("num_sensors", [scenario.num_sensors]))
+        thresholds = list(grids.get("threshold", [scenario.threshold]))
+        result = FusedMonteCarloEngine(
+            scenario,
+            num_sensors=num_sensors,
+            thresholds=thresholds,
+            trials=trials,
+            seed=seed,
+            boundary=boundary,
+            batch_size=batch_size,
+        ).run(workers=workers)
+        detections = result.detections_grid()
+        lookup = {}
+        for row_index, n in enumerate(num_sensors):
+            for col_index, k in enumerate(thresholds):
+                lookup[(n, k)] = int(detections[row_index, col_index])
+
+        def compute(**point: Any) -> Dict[str, Any]:
+            key = (
+                point.get("num_sensors", scenario.num_sensors),
+                point.get("threshold", scenario.threshold),
+            )
+            row = dict(point)
+            row["trials"] = trials
+            row["detections"] = lookup[key]
+            row["detection_probability"] = lookup[key] / trials
+            return row
+
+        # The pass already ran (its trials possibly sharded over
+        # `workers`); the closure is a table lookup.
+        workers = 1
+    else:
+        ob = obs.current()
+        if ob.enabled:
+            ob.incr("mc.fallbacks", len(points))
+        compute = functools.partial(
+            _simulated_point,
+            scenario,
+            trials,
+            seed,
+            boundary,
+            batch_size,
         )
     return _run_points(
         points,

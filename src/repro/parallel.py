@@ -74,8 +74,10 @@ from repro.errors import SimulationError
 
 __all__ = [
     "available_workers",
+    "merge_fused_results",
     "merge_simulation_results",
     "parallel_map",
+    "run_fused_parallel",
     "run_simulator_parallel",
     "spawn_seed_sequences",
     "split_trials",
@@ -170,8 +172,40 @@ def merge_simulation_results(results: Sequence[Any]):
     )
 
 
+def merge_fused_results(results: Sequence[Any]):
+    """Concatenate per-shard :class:`FusedSweepResult`\\ s in shard order.
+
+    All shards must share one scenario and the same ``(N, k)`` axes.
+    """
+    from repro.simulation.fused import FusedSweepResult
+
+    if not results:
+        raise SimulationError("no shard results to merge")
+    first = results[0]
+    for result in results[1:]:
+        if (
+            result.scenario != first.scenario
+            or result.num_sensors != first.num_sensors
+            or result.thresholds != first.thresholds
+        ):
+            raise SimulationError(
+                "cannot merge fused results from different sweeps"
+            )
+    return FusedSweepResult(
+        scenario=first.scenario,
+        num_sensors=first.num_sensors,
+        thresholds=first.thresholds,
+        report_counts=np.concatenate([r.report_counts for r in results]),
+        node_counts=np.concatenate([r.node_counts for r in results]),
+    )
+
+
 def _run_shard(simulator, trials: int, seed_seq: np.random.SeedSequence):
-    """Worker entry point: run one shard with its own generator."""
+    """Worker entry point: run one shard with its own generator.
+
+    Shared by the plain simulator and the fused engine — both expose the
+    same ``_run_serial(trials, rng)`` shard contract.
+    """
     return simulator._run_serial(trials, np.random.default_rng(seed_seq))
 
 
@@ -442,6 +476,57 @@ def run_simulator_parallel(
     except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
         raise _wrap_pickling_error(exc) from exc
     return merge_simulation_results(results)
+
+
+def run_fused_parallel(
+    engine,
+    workers: int,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+):
+    """Run a :class:`FusedMonteCarloEngine`'s trials across processes.
+
+    The fused counterpart of :func:`run_simulator_parallel`, under the
+    identical reproducibility contract: trials shard by
+    :func:`split_trials`, shard ``i`` always draws from the ``i``-th
+    :func:`spawn_seed_sequences` child, and shards merge in shard order —
+    so the same ``(seed, workers)`` always reproduces the identical
+    :class:`~repro.simulation.fused.FusedSweepResult`, and crash retries
+    replay the exact shard they lost.  The per-trial grid rows stay
+    aligned across columns within every shard, so common-random-numbers
+    monotonicity survives the merge.
+
+    Args:
+        engine: the configured fused engine (its trials/seed/axes are
+            honoured).
+        workers: process count.
+        timeout: optional per-shard running-time bound in seconds.
+        max_retries: pool rebuilds allowed per shard before the serial
+            fallback (crashes) or a raised error (timeouts).
+
+    Returns:
+        One merged :class:`~repro.simulation.fused.FusedSweepResult`.
+    """
+    workers = _validate_workers(workers)
+    _validate_resilience(timeout, max_retries)
+    shards = split_trials(engine._trials, workers)
+    seeds = spawn_seed_sequences(engine._seed, len(shards))
+    if len(shards) == 1:
+        return _run_shard(engine, shards[0], seeds[0])
+    tasks = [(engine, shard, seed) for shard, seed in zip(shards, seeds)]
+    try:
+        results = _execute_resilient(
+            _run_shard,
+            tasks,
+            workers=len(shards),
+            timeout=timeout,
+            max_retries=max_retries,
+        )
+    except SimulationError:
+        raise
+    except (pickle.PicklingError, TypeError, AttributeError, ImportError) as exc:
+        raise _wrap_pickling_error(exc) from exc
+    return merge_fused_results(results)
 
 
 def _invoke(task) -> Any:

@@ -178,10 +178,65 @@ def compute_analyze(request: Dict[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 
 
+#: ``/simulate`` sweep axes the fused engine can answer in one pass
+#: (common random numbers over a deployment prefix / shared totals).
+FUSED_SWEEP_FIELDS = ("num_sensors", "threshold")
+
+
+def _canonical_simulate_sweep(payload: Dict[str, Any], base: Scenario):
+    """Validate the optional ``/simulate`` ``"sweep"`` sub-object."""
+    spec = payload.get("sweep")
+    if spec is None:
+        return None
+    spec = _require_dict(spec, "'sweep'")
+    _unknown_keys(spec, ("parameter", "values"))
+    parameter = spec.get("parameter")
+    if parameter not in FUSED_SWEEP_FIELDS:
+        raise RequestError(
+            f"'sweep.parameter' must be one of {sorted(FUSED_SWEEP_FIELDS)} "
+            f"(axes one fused Monte Carlo pass can answer), got {parameter!r}"
+        )
+    values = spec.get("values")
+    if not isinstance(values, (list, tuple)) or not values:
+        raise RequestError("'sweep.values' must be a non-empty list")
+    if len(values) > MAX_SWEEP_POINTS:
+        raise RequestError(
+            f"'sweep.values' must have <= {MAX_SWEEP_POINTS} points, "
+            f"got {len(values)}"
+        )
+    base_dict = base.to_dict()
+    canonical_values: List[int] = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RequestError(
+                f"sweep values must be numbers, got {value!r}"
+            )
+        if float(value) != int(value):
+            raise RequestError(
+                f"'{parameter}' sweep values must be integers, got {value!r}"
+            )
+        point = dict(base_dict)
+        point[parameter] = int(value)
+        try:
+            point_scenario = Scenario.from_dict(point)
+        except ScenarioError as exc:
+            raise RequestError(
+                f"sweep value {value!r} for {parameter!r} is invalid: {exc}"
+            ) from exc
+        canonical_values.append(point_scenario.to_dict()[parameter])
+    return {"parameter": parameter, "values": canonical_values}
+
+
 def canonicalize_simulate(payload: Any) -> Dict[str, Any]:
-    """Validate a ``/simulate`` body; fill defaults; return canonical form."""
+    """Validate a ``/simulate`` body; fill defaults; return canonical form.
+
+    The optional ``"sweep": {"parameter": ..., "values": [...]}`` object
+    asks for a whole ``num_sensors`` or ``threshold`` axis from **one**
+    fused Monte Carlo pass (:mod:`repro.simulation.fused`): all points
+    share the request's ``trials`` under common random numbers.
+    """
     payload = _require_dict(payload, "request body")
-    _unknown_keys(payload, ("scenario", "trials", "seed", "boundary"))
+    _unknown_keys(payload, ("scenario", "trials", "seed", "boundary", "sweep"))
     scenario = _scenario_from(payload)
     trials = _int_field(payload, "trials", 2_000, 1, MAX_TRIALS)
     seed = _int_field(payload, "seed", 20080617, 0)
@@ -195,14 +250,67 @@ def canonicalize_simulate(payload: Any) -> Dict[str, Any]:
         "trials": trials,
         "seed": seed,
         "boundary": boundary,
+        "sweep": _canonical_simulate_sweep(payload, scenario),
     }
 
 
 def compute_simulate(request: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker-side kernel for ``/simulate`` (deterministic in the seed)."""
+    """Worker-side kernel for ``/simulate`` (deterministic in the seed).
+
+    With a ``sweep`` the whole axis is answered by one
+    :class:`~repro.simulation.fused.FusedMonteCarloEngine` pass; the
+    response gains a ``"rows"`` list (one Wilson-intervalled estimate per
+    value) and its top-level estimate is the base scenario's own point.
+    """
     from repro.simulation.runner import MonteCarloSimulator
 
     scenario = Scenario.from_dict(request["scenario"])
+    sweep = request.get("sweep")
+    if sweep is not None:
+        from repro.simulation.fused import FusedMonteCarloEngine
+
+        parameter = sweep["parameter"]
+        values = list(sweep["values"])
+        axes = {
+            "num_sensors": [scenario.num_sensors],
+            "thresholds": [scenario.threshold],
+        }
+        axes["num_sensors" if parameter == "num_sensors" else "thresholds"] = (
+            values
+        )
+        result = FusedMonteCarloEngine(
+            scenario,
+            trials=request["trials"],
+            seed=request["seed"],
+            boundary=request["boundary"],
+            **axes,
+        ).run()
+        detections = result.detections_grid()
+        intervals = result.confidence_interval_grid()
+        rows = []
+        for index, value in enumerate(values):
+            i, j = (index, 0) if parameter == "num_sensors" else (0, index)
+            rows.append(
+                {
+                    parameter: value,
+                    "detections": int(detections[i, j]),
+                    "detection_probability": float(
+                        detections[i, j] / result.trials
+                    ),
+                    "confidence_interval": [
+                        float(intervals[i, j, 0]),
+                        float(intervals[i, j, 1]),
+                    ],
+                }
+            )
+        return {
+            "parameter": parameter,
+            "rows": rows,
+            "trials": request["trials"],
+            "seed": request["seed"],
+            "boundary": request["boundary"],
+            "scenario": request["scenario"],
+        }
     result = MonteCarloSimulator(
         scenario,
         trials=request["trials"],

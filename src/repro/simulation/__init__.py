@@ -1,5 +1,6 @@
 """Monte Carlo simulation substrate (the paper's Matlab simulator, Section 4)."""
 
+from repro.simulation.fused import FusedMonteCarloEngine, FusedSweepResult
 from repro.simulation.runner import (
     MonteCarloSimulator,
     SimulationResult,
@@ -19,6 +20,8 @@ from repro.simulation.targets import (
 )
 
 __all__ = [
+    "FusedMonteCarloEngine",
+    "FusedSweepResult",
     "MonteCarloSimulator",
     "RandomWalkTarget",
     "ReportStreamEpisode",

@@ -1,0 +1,104 @@
+"""Fused Monte Carlo conformance: one pass vs the analytical grid.
+
+The fused engine (:mod:`repro.simulation.fused`) answers an entire
+``num_sensors x threshold`` grid from a single common-random-numbers
+pass.  This suite holds that pass to the same statistical contract as
+the per-point conformance corpus (``test_conformance.py``):
+
+    at **every** grid point, the batched analytical ``P_M[X >= k]``
+    must lie inside the Wilson 99% score interval of the fused
+    10,000-trial estimate.
+
+Common random numbers change the joint distribution across points (the
+columns are correlated) but not any marginal — each column is a valid
+10k-trial binomial sample at its ``N`` — so the per-point Wilson
+interval check is exactly as valid here as it is for independent runs.
+A fused-path regression (a wrong prefix index, a cumsum off by one, a
+generator-order drift) shifts some column's marginal and fails its
+point.
+
+Cases reuse the corpus geometry where the M-S-approach is known
+accurate; the ONR-scale axis is marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedMarkovSpatialAnalysis
+from repro.simulation.fused import FusedMonteCarloEngine
+
+from tests.integration.test_conformance import (
+    BODY_TRUNCATION,
+    SEED,
+    TRIALS,
+    wilson_interval,
+)
+
+
+def _check_grid(scenario, num_sensors, thresholds, body_truncation, substeps=1):
+    """Assert the analytical grid sits inside Wilson 99% at every point."""
+    fused = FusedMonteCarloEngine(
+        scenario,
+        num_sensors=num_sensors,
+        thresholds=thresholds,
+        trials=TRIALS,
+        seed=SEED,
+    ).run()
+    detections = fused.detections_grid()
+    analytical = BatchedMarkovSpatialAnalysis(
+        scenario, body_truncation=body_truncation, substeps=substeps
+    ).detection_probability_grid(
+        num_sensors=num_sensors, thresholds=thresholds
+    )
+    failures = []
+    for i, n in enumerate(num_sensors):
+        for j, k in enumerate(thresholds):
+            low, high = wilson_interval(int(detections[i, j]), TRIALS)
+            if not low <= analytical[i, j] <= high:
+                failures.append(
+                    f"(N={n}, k={k}): analytical {analytical[i, j]:.4f} "
+                    f"outside [{low:.4f}, {high:.4f}] "
+                    f"(simulated {detections[i, j] / TRIALS:.4f})"
+                )
+    assert not failures, (
+        f"{len(failures)} of {len(num_sensors) * len(thresholds)} fused "
+        "grid points outside Wilson 99%:\n" + "\n".join(failures)
+    )
+    return fused, analytical
+
+
+class TestFusedConformance:
+    def test_small_axis_every_point_inside_wilson(self, small):
+        _check_grid(
+            small,
+            num_sensors=[15, 25, 40, 60],
+            thresholds=[1, 2, 3, 5],
+            body_truncation=BODY_TRUNCATION,
+        )
+
+    @pytest.mark.slow
+    def test_onr_axis_every_point_inside_wilson(self, onr):
+        _check_grid(
+            onr,
+            num_sensors=[120, 180, 240],
+            thresholds=[3, 5],
+            body_truncation=BODY_TRUNCATION,
+            substeps=2,
+        )
+
+    def test_fused_grid_monotone_like_analytical(self, small):
+        fused, analytical = _check_grid(
+            small,
+            num_sensors=[20, 40],
+            thresholds=[1, 3],
+            body_truncation=BODY_TRUNCATION,
+        )
+        grid = fused.detection_probability_grid()
+        # Both surfaces are exactly monotone (CRN on the fused side,
+        # stochastic dominance on the analytical side).
+        assert (np.diff(grid, axis=0) >= 0).all()
+        assert (np.diff(grid, axis=1) <= 0).all()
+        assert (np.diff(analytical, axis=0) >= 0).all()
+        assert (np.diff(analytical, axis=1) <= 0).all()

@@ -1,0 +1,93 @@
+"""Property-based tests for the kernel backend seam.
+
+Pins the two guarantees ``backend=`` callers rely on (see
+``repro.core.kernels``):
+
+* ``reference`` is **bitwise batch-invariant** — singleton rows equal
+  grid rows byte for byte, on arbitrary stacks;
+* ``auto`` (and the forced ``fft`` path) stay within 1e-12 of the
+  reference on random pmf stacks, at the raw-kernel level and through a
+  full :class:`~repro.core.batched.BatchedMarkovSpatialAnalysis` grid.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cache import clear_analysis_cache
+from repro.core.batched import BatchedMarkovSpatialAnalysis
+from repro.core.kernels import batch_convolve, batch_convolve_power
+
+from tests.property.test_prop_batched import PARITY_ATOL, scenario_strategy
+
+
+@st.composite
+def pmf_stack_pair(draw, max_width=120):
+    """Two aligned pmf stacks with independent random supports."""
+    rows = draw(st.integers(1, 4))
+    widths = draw(st.tuples(st.integers(1, max_width), st.integers(1, max_width)))
+    stacks = []
+    for width in widths:
+        raw = draw(
+            hnp.arrays(
+                np.float64,
+                (rows, width),
+                elements=st.floats(0.0, 1.0, allow_nan=False),
+            )
+        )
+        totals = raw.sum(axis=1, keepdims=True)
+        # Normalise rows with mass; keep all-zero rows as-is (they are a
+        # legal, adversarial input: zero mass must convolve to zero).
+        np.divide(raw, totals, out=raw, where=totals > 0.0)
+        stacks.append(raw)
+    return tuple(stacks)
+
+
+class TestKernelProperties:
+    @given(pair=pmf_stack_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_auto_within_1e12_of_reference(self, pair):
+        a, b = pair
+        ref = batch_convolve(a, b, backend="reference")
+        auto = batch_convolve(a, b, backend="auto")
+        fft = batch_convolve(a, b, backend="fft")
+        assert np.abs(auto - ref).max(initial=0.0) <= PARITY_ATOL
+        assert np.abs(fft - ref).max(initial=0.0) <= PARITY_ATOL
+
+    @given(pair=pmf_stack_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_reference_bitwise_batch_invariant(self, pair):
+        a, b = pair
+        full = batch_convolve(a, b, backend="reference")
+        for row in range(a.shape[0]):
+            single = batch_convolve(
+                a[row : row + 1], b[row : row + 1], backend="reference"
+            )
+            assert (single[0] == full[row]).all()
+
+    @given(pair=pmf_stack_pair(max_width=50), power=st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_power_auto_within_1e12(self, pair, power):
+        base, _ = pair
+        ref = batch_convolve_power(base, power, backend="reference")
+        auto = batch_convolve_power(base, power, backend="auto")
+        assert np.abs(auto - ref).max(initial=0.0) <= PARITY_ATOL
+
+
+class TestEngineBackendProperties:
+    @given(scenario=scenario_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_engine_auto_within_1e12_of_reference(self, scenario):
+        clear_analysis_cache()
+        axes = dict(
+            num_sensors=[scenario.num_sensors, scenario.num_sensors * 2],
+            thresholds=[scenario.threshold, scenario.threshold + 2],
+        )
+        ref = BatchedMarkovSpatialAnalysis(
+            scenario, backend="reference"
+        ).detection_probability_grid(**axes)
+        auto = BatchedMarkovSpatialAnalysis(
+            scenario, backend="auto"
+        ).detection_probability_grid(**axes)
+        assert np.abs(auto - ref).max() <= PARITY_ATOL

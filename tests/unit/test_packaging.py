@@ -1,0 +1,27 @@
+"""Packaging guard: the ``repro`` package ships Python sources only.
+
+PR 6 removed stray benchmark result JSONs from the package tree;
+benchmark records belong in ``benchmarks/results/`` (committed next to
+their manifests), never inside ``src/repro`` where they would ride into
+every wheel.  This test fails the build if any non-Python data file
+reappears anywhere under the package.
+"""
+
+import pathlib
+
+import repro
+
+
+def test_package_ships_only_python_sources():
+    root = pathlib.Path(repro.__file__).resolve().parent
+    offenders = sorted(
+        str(path.relative_to(root))
+        for path in root.rglob("*")
+        if path.is_file()
+        and "__pycache__" not in path.parts
+        and path.suffix != ".py"
+    )
+    assert offenders == [], (
+        "non-Python files inside the repro package (move benchmark "
+        f"records to benchmarks/results/): {offenders}"
+    )

@@ -616,3 +616,102 @@ class TestRealEndpoints:
             assert cold == warm
 
         run(main())
+
+
+class TestSimulateSweep:
+    """The /simulate ``sweep`` sub-object: one fused pass per axis."""
+
+    def _service(self, **config_kwargs):
+        return AnalysisService(
+            ServiceConfig(port=0, **config_kwargs),
+            executor_factory=lambda: ThreadPoolExecutor(max_workers=1),
+        )
+
+    def test_canonical_form_always_carries_sweep_key(self):
+        from repro.service.handlers import canonicalize_simulate
+
+        plain = canonicalize_simulate({"scenario": SCENARIO, "trials": 10})
+        assert plain["sweep"] is None
+        swept = canonicalize_simulate(
+            {
+                "scenario": SCENARIO,
+                "trials": 10,
+                "sweep": {"parameter": "threshold", "values": [1, 3.0]},
+            }
+        )
+        assert swept["sweep"] == {"parameter": "threshold", "values": [1, 3]}
+
+    def test_sweep_rows_match_fused_engine(self):
+        from repro.core.scenario import Scenario
+        from repro.simulation.fused import FusedMonteCarloEngine
+
+        async def main():
+            service = self._service()
+            body = json.dumps(
+                {
+                    "scenario": SCENARIO,
+                    "trials": 200,
+                    "seed": 9,
+                    "sweep": {
+                        "parameter": "num_sensors",
+                        "values": [60, 240],
+                    },
+                }
+            ).encode()
+            status, _, payload = await service.dispatch(
+                "POST", "/simulate", body
+            )
+            assert status == 200
+            result = json.loads(payload)
+            assert result["parameter"] == "num_sensors"
+            assert [row["num_sensors"] for row in result["rows"]] == [60, 240]
+            direct = FusedMonteCarloEngine(
+                Scenario.from_dict(SCENARIO),
+                num_sensors=[60, 240],
+                thresholds=[SCENARIO["threshold"]],
+                trials=200,
+                seed=9,
+            ).run()
+            detections = direct.detections_grid()[:, 0]
+            for row, expected in zip(result["rows"], detections):
+                assert row["detections"] == int(expected)
+                assert row["detection_probability"] == pytest.approx(
+                    expected / 200
+                )
+                low, high = row["confidence_interval"]
+                assert low <= row["detection_probability"] <= high
+
+        run(main())
+
+    def test_sweep_validation_rejections(self):
+        async def main():
+            service = self._service()
+
+            async def status_of(sweep):
+                body = json.dumps(
+                    {"scenario": SCENARIO, "trials": 10, "sweep": sweep}
+                ).encode()
+                status, _, payload = await service.dispatch(
+                    "POST", "/simulate", body
+                )
+                return status, payload
+
+            for sweep, fragment in [
+                ({"parameter": "detect_prob", "values": [0.5]}, b"parameter"),
+                ({"parameter": "threshold", "values": []}, b"non-empty"),
+                ({"parameter": "threshold", "values": [1.5]}, b"integers"),
+                ({"parameter": "num_sensors", "values": [0]}, b"invalid"),
+                ({"parameter": "threshold", "values": [1], "x": 1}, b"x"),
+                (
+                    {
+                        "parameter": "threshold",
+                        "values": list(range(1, 300)),
+                    },
+                    b"points",
+                ),
+            ]:
+                status, payload = await status_of(sweep)
+                assert status == 400, sweep
+                assert fragment in payload, (sweep, payload)
+
+        run(main())
