@@ -1,0 +1,244 @@
+"""PERF-CHAOS — availability under scripted faults (the chaos benchmark).
+
+Boots an in-process :class:`repro.service.AnalysisService` on a real
+socket with a process-backed replica fleet, drives it with closed-loop
+clients issuing *distinct* ``/analyze`` requests, and — mid-load —
+replays a deterministic :class:`repro.chaos.ChaosScript` that kills and
+hangs replicas.  The supervisor must detect every fault, evict, restart,
+and keep answering:
+
+* **availability** — completed (HTTP 200) fraction of offered requests;
+  the record carries it and the run fails below the 0.99 SLO;
+* **fidelity** — how many completions were full-fidelity vs degraded
+  (``X-Repro-Degraded`` responses);
+* **the books** — ``fleet.evictions`` / ``fleet.restarts`` must equal
+  the script's ``fault_count()`` exactly.
+
+The CI chaos-smoke job runs this file and uploads the injection report
+(written to ``$REPRO_CHAOS_REPORT`` when set) as a build artifact, so
+every merge carries a machine-readable fault/recovery ledger.
+
+Environment knobs (see ``benchmarks/conftest.py`` for shared ones):
+
+* ``REPRO_BENCH_CHAOS_CLIENTS`` — closed-loop clients (default 4).
+* ``REPRO_BENCH_CHAOS_REQUESTS`` — requests per client (default 30).
+* ``REPRO_CHAOS_REPORT`` — path to write the chaos report JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import os
+import pathlib
+import threading
+import time
+
+import numpy as np
+
+from repro.chaos import ChaosHarness, ChaosScript, hang, kill
+from repro.experiments.records import ExperimentRecord
+from repro.service import AnalysisService, ServiceConfig
+
+SCENARIO = {
+    "field_width": 10_000.0,
+    "field_height": 10_000.0,
+    "num_sensors": 240,
+    "sensing_range": 600.0,
+    "target_speed": 10.0,
+    "sensing_period": 30.0,
+    "detect_prob": 0.9,
+    "window": 10,
+    "threshold": 3,
+}
+
+#: Minimum completed-request fraction under the scripted fault load.
+AVAILABILITY_SLO = 0.99
+
+
+def _chaos_clients() -> int:
+    return int(os.environ.get("REPRO_BENCH_CHAOS_CLIENTS", "4"))
+
+
+def _chaos_requests() -> int:
+    return int(os.environ.get("REPRO_BENCH_CHAOS_REQUESTS", "30"))
+
+
+class _ServerThread:
+    """An AnalysisService running on its own event loop in a thread."""
+
+    def __init__(self, config: ServiceConfig):
+        self.service = AnalysisService(config)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def __enter__(self) -> "_ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("service failed to start")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=30)
+
+
+def _request(host, port, payload):
+    connection = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        start = time.perf_counter()
+        connection.request(
+            "POST", "/analyze", body=json.dumps(payload).encode()
+        )
+        response = connection.getresponse()
+        headers = dict(response.getheaders())
+        response.read()
+        elapsed = time.perf_counter() - start
+        return response.status, headers, elapsed
+    finally:
+        connection.close()
+
+
+def _drive_load(host, port, clients, per_client):
+    """Closed-loop clients, each pacing distinct /analyze requests."""
+    outcomes = []
+    latencies = []
+    lock = threading.Lock()
+
+    def client(index):
+        for step in range(per_client):
+            payload = {
+                "scenario": dict(
+                    SCENARIO, num_sensors=100 + index * per_client + step
+                ),
+                "body_truncation": 3,
+            }
+            try:
+                status, headers, elapsed = _request(host, port, payload)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                status, headers, elapsed = ("error", {"exc": repr(exc)}, 0.0)
+            with lock:
+                outcomes.append((status, headers))
+                latencies.append(elapsed)
+            time.sleep(0.02)  # stretch the load across the fault window
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return outcomes, np.asarray(latencies)
+
+
+def test_availability_under_scripted_faults(emit_record):
+    clients = _chaos_clients()
+    per_client = _chaos_requests()
+    total = clients * per_client
+    config = ServiceConfig(
+        port=0,
+        workers=1,
+        replicas=3,
+        queue_limit=max(64, 4 * clients),
+        request_timeout=60.0,
+        attempt_timeout=2.0,
+        heartbeat_interval=0.1,
+        probe_timeout=0.5,
+        route_wait=2.0,
+    )
+    script = ChaosScript(
+        actions=(
+            kill(0.3, replica="r0"),
+            kill(0.9, replica="r1"),
+            hang(1.5, duration=4.0, replica="r2"),
+        )
+    )
+
+    with _ServerThread(config) as server:
+        host, port = server.service.host, server.service.port
+        supervisor = server.service.supervisor
+        harness = ChaosHarness(supervisor, script)
+
+        chaos_future = asyncio.run_coroutine_threadsafe(
+            harness.run(), server.loop
+        )
+        outcomes, latencies = _drive_load(host, port, clients, per_client)
+        report = chaos_future.result(timeout=120)
+
+        # Let the supervisor finish every scripted restart before the
+        # books are audited.
+        deadline = time.monotonic() + 30.0
+        while (
+            supervisor.metrics.counter("restarts") < script.fault_count()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        fleet_counters, _ = supervisor.metrics.snapshot()
+        service_counters, _ = server.service.metrics.snapshot()
+
+    completed = [o for o in outcomes if o[0] == 200]
+    degraded = [o for o in completed if "X-Repro-Degraded" in o[1]]
+    availability = len(completed) / total
+
+    # -- correctness gates --------------------------------------------
+    assert fleet_counters["evictions"] == script.fault_count(), fleet_counters
+    assert fleet_counters["restarts"] == script.fault_count(), fleet_counters
+    assert availability >= AVAILABILITY_SLO, (
+        f"availability {availability:.4f} under scripted faults is below "
+        f"the {AVAILABILITY_SLO} SLO ({len(completed)}/{total} completed)"
+    )
+
+    # -- the record ----------------------------------------------------
+    record = ExperimentRecord(
+        experiment_id="PERF-CHAOS",
+        title="Service availability under scripted kill/hang faults",
+        parameters={
+            "clients": clients,
+            "requests_per_client": per_client,
+            "replicas": config.replicas,
+            "workers": config.workers,
+            "script": script.to_dict(),
+            "availability_slo": AVAILABILITY_SLO,
+        },
+    )
+    record.add_row(
+        phase="chaos",
+        requests=total,
+        completed=len(completed),
+        degraded=len(degraded),
+        availability=availability,
+        p50_ms=float(np.percentile(latencies, 50) * 1e3),
+        p99_ms=float(np.percentile(latencies, 99) * 1e3),
+        evictions=fleet_counters["evictions"],
+        restarts=fleet_counters["restarts"],
+        reroutes=fleet_counters.get("reroutes", 0),
+        degraded_total=service_counters.get("degraded", 0),
+    )
+    emit_record(record)
+
+    # -- the artifact --------------------------------------------------
+    report_path = os.environ.get("REPRO_CHAOS_REPORT")
+    if report_path:
+        payload = report.to_dict()
+        payload["availability"] = availability
+        payload["requests"] = total
+        payload["completed"] = len(completed)
+        payload["degraded"] = len(degraded)
+        payload["fleet_counters"] = fleet_counters
+        path = pathlib.Path(report_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"[PERF-CHAOS] chaos report written to {path}")

@@ -19,7 +19,11 @@ recorded ``cpu_count=1`` serial baseline:
   mis-tuned to reject pmf rows, a threshold typo) as well as a slow FFT;
 * whole-axis fused Monte Carlo time on the recorded PERF-MCFUSED axis —
   catches the fused engine degrading back toward per-point cost (e.g. a
-  prefix cumsum replaced by a per-``N`` re-evaluation).
+  prefix cumsum replaced by a per-``N`` re-evaluation);
+* the PERF-CHAOS availability ledger — the committed chaos-benchmark
+  record must show the fleet meeting its >= 0.99 completion SLO with the
+  eviction/restart books balanced against the injected fault count
+  (catches a stale or hand-edited artifact slipping past the chaos job).
 
 The 3x envelope absorbs host-speed differences between the recording
 machine and CI runners while still catching order-of-magnitude
@@ -226,4 +230,31 @@ def test_fused_axis_time_vs_recorded_baseline():
         f"fused per-trial time {per_trial * 1e3:.3f} ms on the recorded "
         f"{len(axis)}-point axis exceeds {REGRESSION_FACTOR}x the "
         f"recorded baseline {baseline_per_trial * 1e3:.3f} ms"
+    )
+
+
+def test_chaos_availability_vs_recorded_baseline():
+    """Gate on the committed chaos ledger, not a re-run.
+
+    ``bench_chaos.py`` enforces the SLO live (and CI's chaos-smoke job
+    re-runs it per merge); this gate pins the *committed* PERF-CHAOS
+    record so the availability claim in the repository can never drift
+    below the SLO or out of balance with its own fault script.
+    """
+    baseline = _load_baseline("perf-chaos.json")
+    slo = baseline.parameters.get("availability_slo", 0.99)
+    chaos_rows = [row for row in baseline.rows if row["phase"] == "chaos"]
+    assert chaos_rows, "perf-chaos.json has no chaos row"
+    row = chaos_rows[0]
+    assert row["availability"] >= slo, (
+        f"committed chaos availability {row['availability']:.4f} is below "
+        f"the recorded {slo} SLO"
+    )
+    assert row["completed"] >= slo * row["requests"], row
+    fault_count = baseline.parameters["script"]["fault_count"]
+    assert row["evictions"] == fault_count, (
+        "committed chaos record's evictions do not match its fault script"
+    )
+    assert row["restarts"] == fault_count, (
+        "committed chaos record's restarts do not match its fault script"
     )

@@ -46,6 +46,19 @@ every lookup is charged as *exactly one* of hit or miss, so
 :meth:`AnalysisCache.clear` calls, and ``evictions + expirations <=
 misses`` (only a miss can insert, so only inserts can evict).
 
+Stale serving
+-------------
+
+With ``stale_grace`` set, an expired entry is *retained* (up to
+``ttl + stale_grace`` old) instead of being deleted at lookup time:
+:meth:`AnalysisCache.lookup` still reports it as a miss — freshness
+semantics are unchanged — but :meth:`AnalysisCache.lookup_stale` can
+recover it.  This is the service's graceful-degradation reserve: when no
+healthy replica can compute a response, a stale-but-fingerprint-matching
+one (flagged ``"degraded": true``) beats a 503.  Stale reads charge the
+separate ``stale_hits`` counter, never ``hits``/``misses``, so the
+``hits + misses == lookups`` contract is untouched.
+
 The cache is intentionally per-process: worker processes spawned by
 :mod:`repro.parallel` build their own (a fork inherits the parent's warm
 entries for free on platforms that fork).
@@ -90,6 +103,12 @@ class AnalysisCache:
         ttl: optional time-to-live in seconds; an entry older than this
             is treated as absent (and removed) by the next lookup.
             ``None`` (default) never expires.
+        stale_grace: optional extra retention beyond ``ttl``
+            (``float("inf")`` allowed).  Expired entries within the
+            grace stay in the table — still reported as misses by
+            :meth:`lookup`, but recoverable via :meth:`lookup_stale`
+            for degraded serving.  ``None`` (default) deletes expired
+            entries at lookup time, the historical behavior.
         clock: monotonic time source, injectable for tests.
         obs_prefix: counter namespace mirrored into the active
             :func:`repro.obs.current` instrumentation (``<prefix>.hits``,
@@ -107,17 +126,23 @@ class AnalysisCache:
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         obs_prefix: str = "cache",
+        stale_grace: Optional[float] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if ttl is not None and ttl <= 0:
             raise ValueError(f"ttl must be positive or None, got {ttl}")
-        # key -> (value, expiry deadline or None)
-        self._entries: "OrderedDict[Hashable, Tuple[Any, Optional[float]]]" = (
+        if stale_grace is not None and stale_grace < 0:
+            raise ValueError(
+                f"stale_grace must be >= 0 or None, got {stale_grace}"
+            )
+        # key -> (value, expiry deadline or None, expiration-charged flag)
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Optional[float], bool]]" = (
             OrderedDict()
         )
         self._max_entries = max_entries
         self._ttl = ttl
+        self._stale_grace = stale_grace
         self._clock = clock
         self._obs_prefix = obs_prefix
         self._lock = threading.Lock()
@@ -125,6 +150,7 @@ class AnalysisCache:
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._stale_hits = 0
 
     @property
     def max_entries(self) -> Optional[int]:
@@ -135,6 +161,16 @@ class AnalysisCache:
     def ttl(self) -> Optional[float]:
         """The configured time-to-live in seconds (``None`` = never)."""
         return self._ttl
+
+    @property
+    def stale_grace(self) -> Optional[float]:
+        """Extra retention beyond ``ttl`` for degraded serving."""
+        return self._stale_grace
+
+    @property
+    def stale_hits(self) -> int:
+        """Expired entries served through :meth:`lookup_stale`."""
+        return self._stale_hits
 
     @property
     def hits(self) -> int:
@@ -175,7 +211,7 @@ class AnalysisCache:
             entry = self._entries.get(key, _MISSING)
             if entry is _MISSING:
                 return False
-            _, deadline = entry
+            _, deadline, _charged = entry
             return deadline is None or self._clock() < deadline
 
     def _mirror(self, name: str, amount: int = 1) -> None:
@@ -196,12 +232,22 @@ class AnalysisCache:
         with self._lock:
             entry = self._entries.get(key, _MISSING)
             if entry is not _MISSING:
-                candidate, deadline = entry
-                if deadline is not None and self._clock() >= deadline:
-                    del self._entries[key]
-                    self._expirations += 1
+                candidate, deadline, charged = entry
+                now = self._clock()
+                if deadline is not None and now >= deadline:
+                    if (
+                        self._stale_grace is None
+                        or now >= deadline + self._stale_grace
+                    ):
+                        del self._entries[key]
+                    elif not charged:
+                        # Retain for degraded serving; the expiration is
+                        # charged once, on the transition to stale.
+                        self._entries[key] = (candidate, deadline, True)
+                    if not charged:
+                        self._expirations += 1
+                        expired = True
                     self._misses += 1
-                    expired = True
                 else:
                     self._entries.move_to_end(key)
                     self._hits += 1
@@ -228,13 +274,13 @@ class AnalysisCache:
         with self._lock:
             entry = self._entries.get(key, _MISSING)
             if entry is not _MISSING:
-                existing, deadline = entry
+                existing, deadline, _charged = entry
                 if deadline is None or self._clock() < deadline:
                     return existing
             deadline = (
                 self._clock() + self._ttl if self._ttl is not None else None
             )
-            self._entries[key] = (value, deadline)
+            self._entries[key] = (value, deadline, False)
             self._entries.move_to_end(key)
             while (
                 self._max_entries is not None
@@ -246,6 +292,32 @@ class AnalysisCache:
         if evicted:
             self._mirror("evictions", evicted)
         return value
+
+    def lookup_stale(self, key: Hashable) -> Tuple[bool, Any]:
+        """Uncounted lookup that may serve an expired entry within grace.
+
+        The degraded-serving read: returns ``(True, value)`` for a live
+        *or* stale (expired but within ``stale_grace``) entry, charging
+        only the ``stale_hits`` counter — never ``hits``/``misses`` — so
+        the ``hits + misses == lookups`` contract is untouched.  Does
+        not refresh LRU recency: serving stale must not keep an entry
+        alive at the expense of fresh ones.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return False, None
+            value, deadline, _charged = entry
+            if deadline is not None:
+                now = self._clock()
+                if now >= deadline and (
+                    self._stale_grace is None
+                    or now >= deadline + self._stale_grace
+                ):
+                    return False, None
+            self._stale_hits += 1
+        self._mirror("stale_hits")
+        return True, value
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on first use.
@@ -273,6 +345,7 @@ class AnalysisCache:
             self._misses = 0
             self._evictions = 0
             self._expirations = 0
+            self._stale_hits = 0
 
     def stats(self) -> dict:
         """JSON-serialisable snapshot (for benchmark records and logs)."""
@@ -284,6 +357,7 @@ class AnalysisCache:
                 "lookups": self._hits + self._misses,
                 "evictions": self._evictions,
                 "expirations": self._expirations,
+                "stale_hits": self._stale_hits,
                 "hit_rate": (
                     self._hits / (self._hits + self._misses)
                     if (self._hits + self._misses)
@@ -291,6 +365,7 @@ class AnalysisCache:
                 ),
                 "max_entries": self._max_entries,
                 "ttl": self._ttl,
+                "stale_grace": self._stale_grace,
             }
 
 

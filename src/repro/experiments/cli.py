@@ -7,7 +7,7 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro runtime
     repro faults --trials 2000 --workers 4
     repro all --trials 1000 --json results/
-    repro serve --port 8080 --workers 4    # JSON analysis service (docs/service.md)
+    repro serve --port 8080 --workers 4 --replicas 2   # JSON analysis service
 
 Each experiment is an argparse subcommand; the options shared by every
 experiment (``--trials``, ``--seed``, ``--workers``, ``--accuracy``,
@@ -386,6 +386,23 @@ def build_parser() -> argparse.ArgumentParser:
                 help="per-request running-time bound in seconds; overdue "
                 "requests get 504 and the pool is recycled (default: 60)",
             )
+            sub.add_argument(
+                "--replicas",
+                type=int,
+                default=1,
+                help="supervised compute replicas, each with its own "
+                "--workers-sized process pool; sick replicas are evicted "
+                "and restarted with backoff (default: 1)",
+            )
+            sub.add_argument(
+                "--attempt-timeout",
+                type=float,
+                default=None,
+                help="per-attempt bound in seconds; a replica that eats a "
+                "whole attempt is recycled and the request re-routes on "
+                "its remaining budget (default: one attempt may spend "
+                "the full request timeout)",
+            )
     return parser
 
 
@@ -437,10 +454,12 @@ def _dispatch(args: argparse.Namespace, instrumentation) -> int:
             host=args.host,
             port=args.port,
             workers=args.workers,
+            replicas=args.replicas,
             queue_limit=args.queue_limit,
             cache_entries=args.cache_entries,
             cache_ttl=args.cache_ttl,
             request_timeout=args.request_timeout,
+            attempt_timeout=args.attempt_timeout,
         )
         with instrumentation.span("experiment:serve"):
             return run_service(config)

@@ -40,6 +40,7 @@ from repro.cache import AnalysisCache
 __all__ = [
     "DEFAULT_CACHE_ENTRIES",
     "DEFAULT_CACHE_TTL",
+    "DEFAULT_STALE_GRACE",
     "build_response_cache",
     "request_fingerprint",
 ]
@@ -71,10 +72,17 @@ def request_fingerprint(endpoint: str, canonical: Dict[str, Any]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Responses never truly rot (they are pure functions of the request),
+#: so an expired entry is kept — within the LRU bound — forever as
+#: degraded-serving reserve rather than deleted on sight.
+DEFAULT_STALE_GRACE: Optional[float] = float("inf")
+
+
 def build_response_cache(
     max_entries: int = DEFAULT_CACHE_ENTRIES,
     ttl: Optional[float] = DEFAULT_CACHE_TTL,
     clock=None,
+    stale_grace: Optional[float] = DEFAULT_STALE_GRACE,
 ) -> AnalysisCache:
     """A bounded LRU+TTL store for response bodies.
 
@@ -82,6 +90,10 @@ def build_response_cache(
         max_entries: LRU bound (>= 1).
         ttl: optional seconds-to-live per entry.
         clock: injectable monotonic time source (tests).
+        stale_grace: how long past ``ttl`` an expired response stays
+            recoverable for degraded serving
+            (:meth:`repro.cache.AnalysisCache.lookup_stale`); the
+            default keeps it until LRU pressure evicts it.
     """
     kwargs: Dict[str, Any] = {}
     if clock is not None:
@@ -90,5 +102,6 @@ def build_response_cache(
         max_entries=max_entries,
         ttl=ttl,
         obs_prefix="service.cache",
+        stale_grace=stale_grace,
         **kwargs,
     )

@@ -19,6 +19,13 @@ Each compute endpoint is an :class:`Endpoint` pairing two functions:
 Request sizes are bounded here (``MAX_TRIALS``, ``MAX_SWEEP_POINTS``) so
 one request cannot monopolise a worker for unbounded time; the service's
 per-request timeout is the backstop, not the first line of defence.
+
+Endpoints may also carry an ``approximate`` kernel — a *cheap* analytical
+stand-in (truncation-1, no substeps; Monte Carlo replaced by its
+analytical prediction) the service runs on the event-loop side when no
+healthy replica can take the request.  Degraded responses are flagged
+``"degraded": true`` and carry an ``"approximation"`` note, so a client
+can always tell a fallback from the real thing.
 """
 
 from __future__ import annotations
@@ -36,6 +43,9 @@ __all__ = [
     "MAX_SWEEP_POINTS",
     "MAX_TRIALS",
     "RequestError",
+    "approximate_analyze",
+    "approximate_simulate",
+    "approximate_sweep",
     "canonicalize_analyze",
     "canonicalize_simulate",
     "canonicalize_sweep",
@@ -442,23 +452,121 @@ def compute_sweep(request: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# Degraded-mode approximations (cheap, loop-side, clearly labelled)
+# ----------------------------------------------------------------------
+
+_APPROXIMATION_NOTE = (
+    "truncation-1 analytical estimate computed in degraded mode; "
+    "re-issue the request for the full answer"
+)
+
+
+def approximate_analyze(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Cheapest honest ``/analyze`` answer: truncation-1, no substeps."""
+    result = compute_analyze(
+        {**request, "body_truncation": 1, "head_truncation": 1, "substeps": 1}
+    )
+    result["approximation"] = _APPROXIMATION_NOTE
+    return result
+
+
+def approximate_simulate(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Degraded ``/simulate``: the analytical prediction stands in.
+
+    No Monte Carlo runs in degraded mode — the truncation-1 analytical
+    estimate of the same scenario is returned instead, without
+    ``detections``/``confidence_interval`` fields a real run would
+    carry (fabricating error bars for numbers that were never sampled
+    would be worse than omitting them).
+    """
+    scenario = Scenario.from_dict(request["scenario"])
+    sweep = request.get("sweep")
+    if sweep is not None:
+        from repro.core.batched import BatchedMarkovSpatialAnalysis
+
+        parameter = sweep["parameter"]
+        values = list(sweep["values"])
+        engine = BatchedMarkovSpatialAnalysis(
+            scenario, body_truncation=1, substeps=1
+        )
+        axis = {
+            (
+                "num_sensors" if parameter == "num_sensors" else "thresholds"
+            ): values
+        }
+        grid = engine.detection_probability_grid(**axis)
+        flat = grid[:, 0] if parameter == "num_sensors" else grid[0]
+        rows = [
+            {parameter: value, "detection_probability": float(probability)}
+            for value, probability in zip(values, flat)
+        ]
+        return {
+            "parameter": parameter,
+            "rows": rows,
+            "scenario": request["scenario"],
+            "approximation": _APPROXIMATION_NOTE,
+        }
+    analysis = MarkovSpatialAnalysis(
+        scenario, body_truncation=1, head_truncation=1, substeps=1
+    )
+    return {
+        "detection_probability": analysis.detection_probability(),
+        "scenario": request["scenario"],
+        "approximation": _APPROXIMATION_NOTE,
+    }
+
+
+def approximate_sweep(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Degraded ``/sweep``: the same axis at truncation-1."""
+    result = compute_sweep(
+        {**request, "body_truncation": 1, "substeps": 1}
+    )
+    result["approximation"] = _APPROXIMATION_NOTE
+    return result
+
+
 @dataclass(frozen=True)
 class Endpoint:
-    """One compute endpoint: path, loop-side validator, worker-side kernel."""
+    """One compute endpoint: path, loop-side validator, worker-side kernel.
+
+    ``approximate``, when present, is the degraded-mode stand-in the
+    service may run loop-side when the replica fleet cannot take the
+    request; it must be cheap and clearly label its output.
+    """
 
     path: str
     name: str
     canonicalize: Callable[[Any], Dict[str, Any]]
     compute: Callable[[Dict[str, Any]], Dict[str, Any]]
+    approximate: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
 
 
 #: The service's compute endpoints, keyed by path.
 ENDPOINTS: Dict[str, Endpoint] = {
     endpoint.path: endpoint
     for endpoint in (
-        Endpoint("/analyze", "analyze", canonicalize_analyze, compute_analyze),
-        Endpoint("/simulate", "simulate", canonicalize_simulate, compute_simulate),
-        Endpoint("/sweep", "sweep", canonicalize_sweep, compute_sweep),
+        Endpoint(
+            "/analyze",
+            "analyze",
+            canonicalize_analyze,
+            compute_analyze,
+            approximate_analyze,
+        ),
+        Endpoint(
+            "/simulate",
+            "simulate",
+            canonicalize_simulate,
+            compute_simulate,
+            approximate_simulate,
+        ),
+        Endpoint(
+            "/sweep",
+            "sweep",
+            canonicalize_sweep,
+            compute_sweep,
+            approximate_sweep,
+        ),
     )
 }
 

@@ -1,0 +1,78 @@
+"""Always-on counter/gauge tables mirrored into :mod:`repro.obs`.
+
+The serving stack must expose live numbers from ``GET /metrics`` even
+when no instrumentation is active, so each layer keeps its own
+thread-safe table and *additionally* increments the active
+instrumentation under a fixed prefix, letting traced runs carry the
+totals in their manifest:
+
+* the orchestrator publishes under ``service.*``
+  (:class:`~repro.service.server.AnalysisService`);
+* the replica fleet publishes under ``fleet.*``
+  (:class:`~repro.service.supervisor.ReplicaSupervisor`);
+* the fault-injection harness publishes under ``chaos.*``
+  (:mod:`repro.chaos`).
+
+See ``docs/observability.md`` for the full counter tables.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+from repro import obs
+
+__all__ = ["MetricsTable"]
+
+
+class MetricsTable:
+    """A thread-safe counter/gauge table with an obs mirror.
+
+    Args:
+        prefix: namespace prepended (``<prefix>.<name>``) when mirroring
+            into the active :func:`repro.obs.current` instrumentation.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    @property
+    def prefix(self) -> str:
+        """The obs namespace this table mirrors into."""
+        return self._prefix
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) to counter ``name`` and mirror it."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+        ob = obs.current()
+        if ob.enabled:
+            ob.incr(f"{self._prefix}.{name}", amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of ``name`` and mirror it."""
+        with self._lock:
+            self._gauges[name] = value
+        ob = obs.current()
+        if ob.enabled:
+            ob.gauge(f"{self._prefix}.{name}", value)
+
+    def event(self, name: str, **fields) -> None:
+        """Emit a structured event under the table's prefix (obs only)."""
+        ob = obs.current()
+        if ob.enabled:
+            ob.event(f"{self._prefix}.{name}", **fields)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, float]]:
+        """``(counters, gauges)`` copies for ``/metrics`` payloads."""
+        with self._lock:
+            return dict(self._counters), dict(self._gauges)

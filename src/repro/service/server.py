@@ -1,38 +1,55 @@
-"""The asyncio HTTP server: admission control, coalescing, caching, dispatch.
+"""The service orchestration layer: admission, coalescing, caching, fleet.
 
-``repro serve`` turns the library into a long-lived analysis service.
-One event loop owns all bookkeeping; model math never runs on it — every
-compute request is dispatched to a process pool, so ``/healthz`` stays
-responsive while a 200k-trial Monte Carlo runs.
+``repro serve`` turns the library into a long-lived analysis service
+built from three seams:
+
+* **transport** (:mod:`repro.service.transport`) — HTTP/1.1 plumbing
+  over asyncio streams; knows nothing about endpoints or replicas;
+* **router** (:mod:`repro.service.router`) — consistent hashing of
+  request fingerprints onto replicas, so singleflight coalescing and
+  warm caches work per shard with minimal remapping on membership
+  change;
+* **compute pool** (:mod:`repro.service.supervisor`) — N supervised
+  process-backed replicas with heartbeat monitoring, eviction + backoff
+  restart, per-replica circuit breakers, and per-request deadline
+  budgets.
 
 Request lifecycle for a compute endpoint (``/analyze``, ``/simulate``,
 ``/sweep``)::
 
     parse JSON -> canonicalize (400 on bad input)
       -> fingerprint -> response-cache lookup --hit--> cached bytes
-      -> admission check --full--> 503 + Retry-After
+      -> admission check --full--> 503 + jittered Retry-After
       -> coalescer singleflight --follower--> leader's bytes
-      -> leader: process pool -> serialise once -> cache store -> bytes
+      -> leader: supervised fleet -> serialise once -> cache store
+           \\-- no healthy replica --> degraded serving:
+                 stale cache entry or analytical approximation,
+                 flagged "degraded": true (503 only as a last resort)
 
-Resilience reuses the semantics of :mod:`repro.parallel`'s resilient
-executor: a worker crash (``BrokenProcessPool``) rebuilds the pool and
-retries the request up to ``max_retries`` times — kernels are pure
-functions of the canonical request, so a retry computes the identical
-answer; a request exceeding ``request_timeout`` *abandons* the pool
-(workers terminated, never joined — a hung worker must not wedge the
-server) and answers 504.
+Graceful degradation is the serving-tier analogue of the paper's thesis
+— the group keeps detecting when individual members fail: a request
+that cannot reach a healthy replica is answered from the stale response
+reserve or by the endpoint's cheap analytical approximation rather than
+refused.
 
-Backpressure: at most ``queue_limit`` compute requests are in the house
-at once (queued + running + coalesced followers).  Beyond that the
-server answers **503 with ``Retry-After``** instead of queueing without
-bound — admission control, not collapse.  Cache hits and the control
-endpoints (``/healthz``, ``/metrics``) bypass admission.
+Liveness and readiness are distinct: ``GET /healthz`` answers 200
+whenever the event loop is alive (restarting the process won't fix a
+sick replica), while ``GET /readyz`` reflects the healthy-replica count
+and the recent pool-crash rate, going 503 when the fleet cannot deliver
+non-degraded answers.
 
 Observability: every counter and gauge mirrors into the active
-:mod:`repro.obs` instrumentation (``service.*`` namespace), so ``repro
-serve --trace`` manifests carry request/coalescing/cache totals; the
-live values are always available from ``GET /metrics`` even without a
-trace.
+:mod:`repro.obs` instrumentation (``service.*`` from this layer,
+``fleet.*`` from the supervisor), so ``repro serve --trace`` manifests
+carry request/coalescing/cache/fleet totals; the live values are always
+available from ``GET /metrics`` even without a trace.
+
+Request conservation: every compute request that yields a 200 is
+accounted to exactly one of ``computations`` (a fleet computation ran),
+``coalesced`` (follower of a flight), ``cache_served`` (fresh cache
+hit), or ``degraded`` (stale/approximate fallback) — so
+``computations + coalesced + cache_served + degraded`` equals the
+number of 200-answered compute requests.
 """
 
 from __future__ import annotations
@@ -40,22 +57,37 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro import obs
+import numpy as np
+
 from repro.cache import analysis_cache
-from repro.parallel import _abandon_pool
 from repro.service import cache_policy
 from repro.service.cache_policy import build_response_cache, request_fingerprint
 from repro.service.coalescer import RequestCoalescer
 from repro.service.handlers import ENDPOINTS, MODEL_ERRORS, RequestError
+from repro.service.metrics import MetricsTable
+from repro.service.resilience import DeadlineBudget
+from repro.service.supervisor import (
+    FleetConfig,
+    FleetExhausted,
+    FleetTimeout,
+    NoHealthyReplica,
+    ReplicaSupervisor,
+)
+from repro.service.transport import (
+    HttpError,
+    HttpTransport,
+    json_body as _json_body,
+)
 
 __all__ = ["AnalysisService", "ServiceConfig", "run_service"]
+
+# Backwards-compatible aliases for the pre-split private names.
+_HttpError = HttpError
 
 
 @dataclass
@@ -66,31 +98,64 @@ class ServiceConfig:
         host: bind address.
         port: bind port; ``0`` lets the OS choose (the chosen port is
             announced on stdout and available as ``service.port``).
-        workers: process-pool size for compute kernels.
+        workers: process-pool size *per replica*.
+        replicas: supervised compute replicas (each its own pool).
         queue_limit: maximum compute requests in the house at once
             (running + queued + coalesced followers); excess requests
-            get 503 + ``Retry-After``.
+            get 503 + jittered ``Retry-After``.
         cache_entries: response-cache LRU bound.
         cache_ttl: optional response time-to-live in seconds.
-        request_timeout: per-request running-time bound in seconds; an
-            overdue request abandons the pool and answers 504.
-        max_retries: pool rebuilds per request after worker crashes.
+        stale_grace: retention beyond ``cache_ttl`` for degraded
+            serving (``float("inf")`` default keeps expired responses
+            until LRU pressure evicts them).
+        request_timeout: per-request wall-clock budget in seconds,
+            spent across every retry/re-route; exhausted budget
+            answers 504.
+        attempt_timeout: optional per-*attempt* bound; a replica that
+            eats a whole attempt without answering is recycled and the
+            request re-routes on its remaining budget.  ``None``
+            (default) lets one attempt spend the full budget.
+        max_retries: replica-crash retries per request.
         max_body_bytes: request-body size cap (413 beyond it).
+        heartbeat_interval / probe_timeout / warmup_timeout /
+        route_wait: fleet health knobs (see
+            :class:`repro.service.supervisor.FleetConfig`).
+        min_ready_replicas: healthy replicas required for ``/readyz``
+            to report ready.
+        crash_window: lookback for the recent-crash rate.
+        max_recent_crashes: evictions within ``crash_window`` beyond
+            which readiness reports unready (crash-looping fleet).
+        fleet_seed: seed for every jitter draw (restart backoff, retry
+            backoff, ``Retry-After``) — deterministic like
+            :mod:`repro.faults`.
     """
 
     host: str = "127.0.0.1"
     port: int = 8080
     workers: int = 1
+    replicas: int = 1
     queue_limit: int = 64
     cache_entries: int = cache_policy.DEFAULT_CACHE_ENTRIES
     cache_ttl: Optional[float] = cache_policy.DEFAULT_CACHE_TTL
+    stale_grace: Optional[float] = cache_policy.DEFAULT_STALE_GRACE
     request_timeout: float = 60.0
+    attempt_timeout: Optional[float] = None
     max_retries: int = 2
     max_body_bytes: int = 1 << 20
+    heartbeat_interval: float = 0.5
+    probe_timeout: float = 5.0
+    warmup_timeout: float = 30.0
+    route_wait: float = 1.0
+    min_ready_replicas: int = 1
+    crash_window: float = 30.0
+    max_recent_crashes: int = 8
+    fleet_seed: int = 20080617
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
         if self.queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
         if self.request_timeout <= 0:
@@ -99,97 +164,37 @@ class ServiceConfig:
             )
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.min_ready_replicas < 1:
+            raise ValueError(
+                f"min_ready_replicas must be >= 1, got {self.min_ready_replicas}"
+            )
 
-
-class _HttpError(Exception):
-    """An error with a definite HTTP status (and optional extra headers)."""
-
-    def __init__(self, status: int, message: str, headers: Optional[Dict[str, str]] = None):
-        super().__init__(message)
-        self.status = status
-        self.headers = headers or {}
-
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
-
-
-def _response_bytes(
-    status: int, body: bytes, headers: Optional[Dict[str, str]] = None
-) -> bytes:
-    lines = [
-        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
-        f"Content-Length: {len(body)}",
-        "Connection: close",
-    ]
-    for name, value in (headers or {}).items():
-        lines.append(f"{name}: {value}")
-    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
-
-
-def _json_body(payload: Dict[str, Any]) -> bytes:
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
-        "utf-8"
-    )
-
-
-class _ServiceMetrics:
-    """Always-on counters/gauges, mirrored into :func:`repro.obs.current`.
-
-    The service must expose ``/metrics`` even when no instrumentation is
-    active, so it keeps its own thread-safe table and *additionally*
-    increments the active instrumentation (``service.<name>``) so traced
-    runs carry the totals in their manifest.
-    """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._gauges: Dict[str, float] = {}
-
-    def incr(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
-        ob = obs.current()
-        if ob.enabled:
-            ob.incr(f"service.{name}", amount)
-
-    def gauge(self, name: str, value: float) -> None:
-        with self._lock:
-            self._gauges[name] = value
-        ob = obs.current()
-        if ob.enabled:
-            ob.gauge(f"service.{name}", value)
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, float]]:
-        with self._lock:
-            return dict(self._counters), dict(self._gauges)
+    def fleet_config(self) -> FleetConfig:
+        """The supervisor-facing slice of this configuration."""
+        return FleetConfig(
+            replicas=self.replicas,
+            max_retries=self.max_retries,
+            attempt_timeout=self.attempt_timeout,
+            route_wait=self.route_wait,
+            heartbeat_interval=self.heartbeat_interval,
+            probe_timeout=self.probe_timeout,
+            warmup_timeout=self.warmup_timeout,
+            crash_window=self.crash_window,
+            fleet_seed=self.fleet_seed,
+        )
 
 
 class AnalysisService:
-    """The serving layer: one event loop, one process pool, one cache.
+    """The orchestration layer: one event loop, one fleet, one cache.
 
     Args:
         config: capacity/policy knobs.
         endpoints: compute endpoint table; defaults to
             :data:`repro.service.handlers.ENDPOINTS`.  Tests inject
             stub endpoints here to control compute latency.
-        executor_factory: builds the compute executor; defaults to a
-            ``ProcessPoolExecutor(config.workers)``.  Tests inject a
-            thread pool so counting stubs can observe invocations.
+        executor_factory: builds one *replica's* executor; defaults to
+            ``ProcessPoolExecutor(config.workers)``.  Tests inject
+            thread pools so counting stubs can observe invocations.
     """
 
     def __init__(
@@ -205,12 +210,24 @@ class AnalysisService:
         )
         self._coalescer = RequestCoalescer()
         self._cache = build_response_cache(
-            max_entries=self.config.cache_entries, ttl=self.config.cache_ttl
+            max_entries=self.config.cache_entries,
+            ttl=self.config.cache_ttl,
+            stale_grace=self.config.stale_grace,
         )
-        self._metrics = _ServiceMetrics()
-        self._pool = None
-        self._server: Optional[asyncio.AbstractServer] = None
-        self._connections: set = set()
+        self._metrics = MetricsTable("service")
+        self._supervisor = ReplicaSupervisor(
+            self._executor_factory, self.config.fleet_config()
+        )
+        self._transport = HttpTransport(
+            self.dispatch,
+            max_body_bytes=self.config.max_body_bytes,
+            on_error=lambda status: self._metrics.incr(f"responses.{status}"),
+        )
+        # Jitter source for Retry-After: synchronized rejected clients
+        # must not re-stampede the admission queue on the same second.
+        self._retry_after_rng = np.random.default_rng(
+            self.config.fleet_seed + 1717
+        )
         self._admitted = 0
         self._started_at = time.monotonic()
         self.host: Optional[str] = None
@@ -219,115 +236,40 @@ class AnalysisService:
     # -- lifecycle -----------------------------------------------------
 
     @property
-    def metrics(self) -> _ServiceMetrics:
-        """The service's always-on metrics table."""
+    def metrics(self) -> MetricsTable:
+        """The service's always-on ``service.*`` metrics table."""
         return self._metrics
 
     @property
     def response_cache(self):
-        """The bounded LRU+TTL response cache."""
+        """The bounded LRU+TTL response cache (with stale reserve)."""
         return self._cache
 
+    @property
+    def supervisor(self) -> ReplicaSupervisor:
+        """The replica fleet (exposed for chaos injection and tests)."""
+        return self._supervisor
+
     async def start(self) -> None:
-        """Bind the listening socket and spin up the compute pool."""
-        if self._pool is None:
-            self._pool = self._executor_factory()
+        """Warm the replica fleet, then bind the listening socket."""
         self._started_at = time.monotonic()
-        self._server = await asyncio.start_server(
-            self._on_client, host=self.config.host, port=self.config.port
+        # Config is mutable until the socket binds; pick up late tweaks.
+        self._transport.max_body_bytes = self.config.max_body_bytes
+        await self._supervisor.start()
+        self.host, self.port = await self._transport.start(
+            self.config.host, self.config.port
         )
-        sockname = self._server.sockets[0].getsockname()
-        self.host, self.port = sockname[0], sockname[1]
 
     async def stop(self) -> None:
-        """Stop listening, cancel in-flight handlers, abandon the pool.
+        """Stop listening, cancel in-flight handlers, tear down the fleet.
 
-        Clean shutdown must not join possibly-hung workers — the pool is
-        abandoned exactly as :mod:`repro.parallel` abandons an overdue
-        pool (terminate, never join), so a mid-request SIGTERM exits
-        promptly.
+        Clean shutdown must not join possibly-hung workers — every
+        replica pool is abandoned exactly as :mod:`repro.parallel`
+        abandons an overdue pool (terminate, never join), so a
+        mid-request SIGTERM exits promptly.
         """
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        for task in list(self._connections):
-            task.cancel()
-        if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
-        self._connections.clear()
-        if self._pool is not None:
-            _abandon_pool(self._pool)
-            self._pool = None
-
-    # -- HTTP plumbing -------------------------------------------------
-
-    async def _on_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._connections.add(task)
-        try:
-            try:
-                method, path, body = await self._read_request(reader)
-            except _HttpError as exc:
-                self._metrics.incr(f"responses.{exc.status}")
-                status, headers, payload = (
-                    exc.status,
-                    exc.headers,
-                    _json_body({"error": str(exc)}),
-                )
-            else:
-                status, headers, payload = await self.dispatch(
-                    method, path, body
-                )
-            writer.write(_response_bytes(status, payload, headers))
-            await writer.drain()
-        except (asyncio.CancelledError, ConnectionError, BrokenPipeError):
-            pass
-        finally:
-            if task is not None:
-                self._connections.discard(task)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except Exception:
-                pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
-        try:
-            request_line = await reader.readline()
-        except (ValueError, ConnectionError) as exc:
-            raise _HttpError(400, f"malformed request line: {exc}") from exc
-        parts = request_line.decode("latin-1", "replace").split()
-        if len(parts) != 3:
-            raise _HttpError(400, "malformed request line")
-        method, target, _version = parts
-        headers: Dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1", "replace").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise _HttpError(400, "invalid Content-Length")
-        if length < 0:
-            raise _HttpError(400, "invalid Content-Length")
-        if length > self.config.max_body_bytes:
-            raise _HttpError(
-                413,
-                f"request body of {length} bytes exceeds the "
-                f"{self.config.max_body_bytes}-byte limit",
-            )
-        body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        await self._transport.stop()
+        await self._supervisor.stop()
 
     async def dispatch(
         self, method: str, path: str, body: bytes = b""
@@ -336,17 +278,18 @@ class AnalysisService:
 
         The HTTP layer is a thin shell around this coroutine; tests and
         embedders can drive the full compute path (validation,
-        caching, coalescing, admission, pool dispatch) without sockets.
-        Never raises for request-level failures — they come back as
-        status codes, exactly as a socket client would see them.
+        caching, coalescing, admission, fleet dispatch) without
+        sockets.  Never raises for request-level failures — they come
+        back as status codes, exactly as a socket client would see
+        them.
         """
-        if self._pool is None and self._server is None:
-            # Socketless embedding: lazily build the compute pool that
-            # start() would have created.
-            self._pool = self._executor_factory()
+        if not self._supervisor.started:
+            # Socketless embedding: lazily warm the fleet that start()
+            # would have warmed.
+            await self._supervisor.start()
         try:
             return await self._route(method.upper(), path, body)
-        except _HttpError as exc:
+        except HttpError as exc:
             self._metrics.incr(f"responses.{exc.status}")
             return exc.status, exc.headers, _json_body({"error": str(exc)})
         except asyncio.CancelledError:
@@ -362,54 +305,66 @@ class AnalysisService:
         self._metrics.incr("requests")
         if path == "/healthz":
             if method != "GET":
-                raise _HttpError(405, "use GET /healthz")
+                raise HttpError(405, "use GET /healthz")
             self._metrics.incr("responses.200")
             return 200, {}, _json_body(self._health())
+        if path == "/readyz":
+            if method != "GET":
+                raise HttpError(405, "use GET /readyz")
+            ready, payload = self._readiness()
+            status = 200 if ready else 503
+            self._metrics.incr(f"responses.{status}")
+            headers = {} if ready else {"Retry-After": self._retry_after()}
+            return status, headers, _json_body(payload)
         if path == "/metrics":
             if method != "GET":
-                raise _HttpError(405, "use GET /metrics")
+                raise HttpError(405, "use GET /metrics")
             self._metrics.incr("responses.200")
             return 200, {}, _json_body(self._metrics_payload())
         endpoint = self._endpoints.get(path)
         if endpoint is None:
-            raise _HttpError(404, f"unknown path {path!r}")
+            raise HttpError(404, f"unknown path {path!r}")
         if method != "POST":
-            raise _HttpError(405, f"use POST {path}")
-        body_bytes, cache_state = await self._handle_compute(endpoint, body)
+            raise HttpError(405, f"use POST {path}")
+        body_bytes, headers = await self._handle_compute(endpoint, body)
         self._metrics.incr("responses.200")
-        return 200, {"X-Repro-Cache": cache_state}, body_bytes
+        return 200, headers, body_bytes
 
     # -- compute path --------------------------------------------------
 
+    def _retry_after(self) -> str:
+        """A jittered Retry-After in whole seconds (1-3)."""
+        return str(int(self._retry_after_rng.integers(1, 4)))
+
     async def _handle_compute(
         self, endpoint, raw_body: bytes
-    ) -> Tuple[bytes, str]:
+    ) -> Tuple[bytes, Dict[str, str]]:
         self._metrics.incr(f"requests.{endpoint.name}")
         try:
             payload = json.loads(raw_body.decode("utf-8")) if raw_body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+            raise HttpError(400, f"body is not valid JSON: {exc}") from exc
         try:
             canonical = endpoint.canonicalize(payload)
         except RequestError as exc:
-            raise _HttpError(400, str(exc)) from exc
+            raise HttpError(400, str(exc)) from exc
         key = request_fingerprint(endpoint.path, canonical)
         found, cached = self._cache.lookup(key)
         if found:
             self._metrics.incr("cache_served")
-            return cached, "hit"
+            return cached, {"X-Repro-Cache": "hit"}
         if self._admitted >= self.config.queue_limit:
             self._metrics.incr("rejected")
-            raise _HttpError(
+            raise HttpError(
                 503,
                 f"admission queue full ({self.config.queue_limit} requests "
                 "in flight); retry shortly",
-                headers={"Retry-After": "1"},
+                headers={"Retry-After": self._retry_after()},
             )
         self._admitted += 1
         self._update_load_gauges()
         try:
-            body_bytes, coalesced = await self._coalescer.run(
+            (body_bytes, kind), coalesced = await self._coalescer.run(
                 key, lambda: self._compute_body(endpoint, key, canonical)
             )
         finally:
@@ -417,84 +372,127 @@ class AnalysisService:
             self._update_load_gauges()
         if coalesced:
             self._metrics.incr("coalesced")
-            return body_bytes, "coalesced"
-        return body_bytes, "miss"
+            return body_bytes, {"X-Repro-Cache": "coalesced"}
+        headers = {"X-Repro-Cache": "miss"}
+        if kind != "computed":
+            headers["X-Repro-Degraded"] = kind
+        return body_bytes, headers
 
     def _update_load_gauges(self) -> None:
         self._metrics.gauge("inflight", self._admitted)
+        capacity = self.config.workers * self.config.replicas
         self._metrics.gauge(
-            "queue_depth", max(0, self._admitted - self.config.workers)
+            "queue_depth", max(0, self._admitted - capacity)
         )
 
-    async def _compute_body(self, endpoint, key: str, canonical: Dict[str, Any]) -> bytes:
-        self._metrics.incr("computations")
+    async def _compute_body(
+        self, endpoint, key: str, canonical: Dict[str, Any]
+    ) -> Tuple[bytes, str]:
+        """Leader-side compute: ``(response bytes, kind)``.
+
+        ``kind`` is ``"computed"`` for a fleet answer (cached; later
+        hits are byte-identical), ``"stale"``/``"approximation"`` for
+        degraded fallbacks (never cached — a degraded body must not
+        shadow the real answer once the fleet recovers).
+        """
+        budget = DeadlineBudget(self.config.request_timeout)
         try:
-            result = await self._run_in_pool(endpoint.compute, canonical)
+            result = await self._supervisor.submit(
+                key, endpoint.compute, canonical, budget=budget
+            )
         except MODEL_ERRORS as exc:
-            raise _HttpError(400, f"model rejected the request: {exc}") from exc
+            raise HttpError(400, f"model rejected the request: {exc}") from exc
+        except FleetTimeout:
+            self._metrics.incr("timeouts")
+            raise HttpError(
+                504,
+                f"request exceeded its {self.config.request_timeout} s "
+                "timeout; the worker pool was recycled",
+            ) from None
+        except FleetExhausted as exc:
+            self._metrics.incr("pool_crashes", exc.crashes)
+            raise HttpError(
+                500,
+                f"worker pool crashed {exc.crashes} times on this "
+                "request; giving up",
+            ) from None
+        except NoHealthyReplica:
+            return await self._degrade(endpoint, key, canonical)
+        self._metrics.incr("computations")
         body = _json_body(result)
         # Store the exact bytes: a later cache hit is byte-identical to
         # this cold response, and followers of this flight share them.
-        return self._cache.store(key, body)
+        return self._cache.store(key, body), "computed"
 
-    async def _run_in_pool(self, fn, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Dispatch one kernel to the pool with parallel-style resilience."""
-        loop = asyncio.get_running_loop()
-        crashes = 0
-        while True:
-            pool = self._pool
-            if pool is None:
-                raise _HttpError(503, "service is shutting down")
+    async def _degrade(
+        self, endpoint, key: str, canonical: Dict[str, Any]
+    ) -> Tuple[bytes, str]:
+        """No healthy replica: stale bytes, then approximation, then 503."""
+        found, stale = self._cache.lookup_stale(key)
+        if found:
+            payload = json.loads(stale.decode("utf-8"))
+            payload["degraded"] = True
+            self._metrics.incr("degraded")
+            self._metrics.incr("degraded_stale")
+            return _json_body(payload), "stale"
+        if endpoint.approximate is not None:
+            loop = asyncio.get_running_loop()
             try:
-                return await asyncio.wait_for(
-                    loop.run_in_executor(pool, fn, request),
-                    timeout=self.config.request_timeout,
+                result = await loop.run_in_executor(
+                    None, endpoint.approximate, canonical
                 )
-            except asyncio.TimeoutError:
-                # A worker past its deadline may be genuinely hung:
-                # abandon the pool (terminate, never join) exactly like
-                # repro.parallel's overdue-task path, then 504.
-                self._metrics.incr("timeouts")
-                self._replace_pool(pool, abandon=True)
-                raise _HttpError(
-                    504,
-                    f"request exceeded its {self.config.request_timeout} s "
-                    "timeout; the worker pool was recycled",
-                ) from None
-            except BrokenProcessPool:
-                # Deterministic kernels make the retry exact — same
-                # canonical request, same answer (the repro.parallel
-                # crash-recovery contract).
-                crashes += 1
-                self._metrics.incr("pool_crashes")
-                self._replace_pool(pool, abandon=False)
-                if crashes > self.config.max_retries:
-                    raise _HttpError(
-                        500,
-                        f"worker pool crashed {crashes} times on this "
-                        "request; giving up",
-                    ) from None
-
-    def _replace_pool(self, old_pool, abandon: bool) -> None:
-        if self._pool is old_pool:
-            self._pool = self._executor_factory()
-        if abandon:
-            _abandon_pool(old_pool)
-        else:
-            try:
-                old_pool.shutdown(wait=False)
             except Exception:
-                pass
+                result = None
+            if result is not None:
+                result["degraded"] = True
+                self._metrics.incr("degraded")
+                self._metrics.incr("degraded_approximations")
+                return _json_body(result), "approximation"
+        self._metrics.incr("unserved")
+        raise HttpError(
+            503,
+            "no healthy compute replica is available and no degraded "
+            "answer exists for this request; retry shortly",
+            headers={"Retry-After": self._retry_after()},
+        )
 
     # -- control endpoints ---------------------------------------------
 
     def _health(self) -> Dict[str, Any]:
+        """Liveness: the event loop answers, nothing more.
+
+        Replica sickness belongs to readiness — restarting this process
+        (the remedy a failed liveness probe triggers) would not fix a
+        sick replica the supervisor is already healing.
+        """
         return {
             "status": "ok",
+            "probe": "liveness",
             "uptime_seconds": time.monotonic() - self._started_at,
             "inflight": self._admitted,
             "queue_limit": self.config.queue_limit,
             "workers": self.config.workers,
+            "replicas": self.config.replicas,
+        }
+
+    def _readiness(self) -> Tuple[bool, Dict[str, Any]]:
+        """Readiness: can the fleet deliver non-degraded answers now?"""
+        healthy = self._supervisor.healthy_count()
+        recent = self._supervisor.recent_crash_count()
+        ready = (
+            self._supervisor.started
+            and healthy >= self.config.min_ready_replicas
+            and recent <= self.config.max_recent_crashes
+        )
+        return ready, {
+            "status": "ready" if ready else "unready",
+            "probe": "readiness",
+            "healthy_replicas": healthy,
+            "required_replicas": self.config.min_ready_replicas,
+            "recent_crashes": recent,
+            "crash_window_seconds": self.config.crash_window,
+            "max_recent_crashes": self.config.max_recent_crashes,
+            "uptime_seconds": time.monotonic() - self._started_at,
         }
 
     def _metrics_payload(self) -> Dict[str, Any]:
@@ -506,6 +504,11 @@ class AnalysisService:
             "coalescer_inflight": self._coalescer.inflight,
             "response_cache": self._cache.stats(),
             "analysis_cache": analysis_cache().stats(),
+            "fleet": (
+                self._supervisor.snapshot()
+                if self._supervisor.started
+                else {"started": False}
+            ),
             "uptime_seconds": time.monotonic() - self._started_at,
         }
 
@@ -513,8 +516,10 @@ class AnalysisService:
 async def _serve_until_signalled(config: ServiceConfig) -> int:
     service = AnalysisService(config)
     await service.start()
+    # The address stays the final token: launchers parse it off this line.
     print(
-        f"repro-service listening on {service.host}:{service.port}",
+        f"repro-service ({config.replicas} replica(s) x {config.workers} "
+        f"worker(s)) listening on {service.host}:{service.port}",
         flush=True,
     )
     stop = asyncio.Event()
@@ -535,7 +540,7 @@ def run_service(config: Optional[ServiceConfig] = None) -> int:
     """Blocking entry point behind ``repro serve``; returns an exit code.
 
     Runs until SIGINT/SIGTERM, then shuts down cleanly: the listener
-    closes, in-flight handlers are cancelled, and the worker pool is
+    closes, in-flight handlers are cancelled, and every replica pool is
     abandoned rather than joined (a hung worker must not block exit).
     """
     config = config or ServiceConfig()

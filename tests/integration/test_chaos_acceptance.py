@@ -1,0 +1,170 @@
+"""Chaos acceptance: scripted faults against a live process-backed fleet.
+
+The robustness tier's headline contract, demonstrated end to end:
+
+* >= 99% of requests complete while replicas are killed and hung
+  mid-load;
+* every non-degraded response is byte-identical to the fault-free
+  answer for the same request;
+* the supervisor restarts every faulted replica; and
+* the books balance exactly — ``fleet.evictions`` and ``fleet.restarts``
+  equal the script's ``fault_count()``, with the totals mirrored into
+  the obs manifest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.chaos import ChaosHarness, ChaosScript, hang, kill
+from repro.service import AnalysisService, ServiceConfig
+from repro.service.handlers import ENDPOINTS
+from repro.service.transport import json_body
+
+SCENARIO = {
+    "field_width": 10_000.0,
+    "field_height": 10_000.0,
+    "num_sensors": 240,
+    "sensing_range": 600.0,
+    "target_speed": 10.0,
+    "sensing_period": 30.0,
+    "detect_prob": 0.9,
+    "window": 10,
+    "threshold": 3,
+}
+
+NUM_REQUESTS = 120
+
+
+def _requests():
+    """~120 distinct /analyze payloads (each its own fingerprint)."""
+    return [
+        {
+            "scenario": dict(SCENARIO, num_sensors=100 + index),
+            "body_truncation": 3,
+        }
+        for index in range(NUM_REQUESTS)
+    ]
+
+
+def _fault_free_bytes(payload):
+    """The byte-exact body a fault-free service returns for ``payload``.
+
+    The service stores and serves ``json_body(endpoint.compute(...))``
+    verbatim, so computing it in-process is the fault-free run.
+    """
+    endpoint = ENDPOINTS["/analyze"]
+    return json_body(endpoint.compute(endpoint.canonicalize(payload)))
+
+
+@pytest.mark.slow
+class TestChaosAcceptance:
+    def test_scripted_kill_and_hang_mid_load(self):
+        expected = {
+            index: _fault_free_bytes(payload)
+            for index, payload in enumerate(_requests())
+        }
+
+        config = ServiceConfig(
+            port=0,
+            workers=1,
+            replicas=3,
+            queue_limit=256,
+            request_timeout=30.0,
+            attempt_timeout=2.0,
+            heartbeat_interval=0.1,
+            probe_timeout=0.5,
+            warmup_timeout=30.0,
+            route_wait=2.0,
+        )
+        script = ChaosScript(
+            actions=(
+                kill(0.4, replica="r0"),
+                kill(1.0, replica="r1"),
+                hang(1.6, duration=4.0, replica="r2"),
+            )
+        )
+
+        async def main():
+            service = AnalysisService(
+                config,
+                executor_factory=lambda: ProcessPoolExecutor(max_workers=1),
+            )
+            await service.supervisor.start()
+            try:
+                harness = ChaosHarness(service.supervisor, script)
+
+                async def fire(index, payload):
+                    body = json.dumps(payload).encode()
+                    status, headers, response = await service.dispatch(
+                        "POST", "/analyze", body
+                    )
+                    return index, status, headers, response
+
+                async def load():
+                    tasks = []
+                    for index, payload in enumerate(_requests()):
+                        tasks.append(
+                            asyncio.ensure_future(fire(index, payload))
+                        )
+                        await asyncio.sleep(0.02)  # ~2.4 s of load
+                    return await asyncio.gather(*tasks)
+
+                results, report = await asyncio.gather(
+                    load(), harness.run()
+                )
+
+                # Every scripted fault was restarted before we assert.
+                supervisor = service.supervisor
+                deadline = time.monotonic() + 30.0
+                while (
+                    supervisor.metrics.counter("restarts")
+                    < script.fault_count()
+                    and time.monotonic() < deadline
+                ):
+                    await asyncio.sleep(0.05)
+                return results, report, supervisor.snapshot()
+            finally:
+                await service.stop()
+
+        with obs.instrument() as ob:
+            results, report, snapshot = asyncio.run(main())
+            manifest = ob.manifest()
+
+        # -- availability: >= 99% of requests complete ------------------
+        completed = [r for r in results if r[1] == 200]
+        assert len(completed) >= 0.99 * NUM_REQUESTS, (
+            f"only {len(completed)}/{NUM_REQUESTS} requests completed; "
+            f"statuses: {sorted({r[1] for r in results})}"
+        )
+
+        # -- correctness: non-degraded answers are byte-identical -------
+        non_degraded = [
+            r for r in completed if "X-Repro-Degraded" not in r[2]
+        ]
+        assert non_degraded, "the run produced no full-fidelity responses"
+        for index, _status, _headers, response in non_degraded:
+            assert response == expected[index], (
+                f"request {index} diverged from the fault-free run"
+            )
+
+        # -- recovery: every faulted replica was restarted --------------
+        counters = snapshot["counters"]
+        assert counters["evictions"] == script.fault_count()
+        assert counters["restarts"] == script.fault_count()
+        for replica_id, state in snapshot["replicas"].items():
+            assert state["state"] == "healthy", (replica_id, state)
+
+        # -- the books: injected == detected == manifest -----------------
+        assert report.counters["injected"] == len(script.actions)
+        assert report.counters["kills"] == 2
+        assert report.counters["hangs"] == 1
+        assert manifest["counters"]["fleet.evictions"] == script.fault_count()
+        assert manifest["counters"]["fleet.restarts"] == script.fault_count()
+        assert manifest["counters"]["chaos.injected"] == len(script.actions)

@@ -60,13 +60,13 @@ def _spawn_server(*extra_args):
     line = ""
     while time.monotonic() < deadline:
         line = process.stdout.readline()
-        if "repro-service listening on" in line:
+        if line.startswith("repro-service (") and "listening on" in line:
             break
         if process.poll() is not None:
             break
     else:  # pragma: no cover - diagnostic path
         pass
-    if "repro-service listening on" not in line:
+    if "listening on" not in line:
         stderr = process.stderr.read()
         process.kill()
         raise AssertionError(f"server never announced itself; stderr:\n{stderr}")
@@ -104,6 +104,13 @@ class TestServeEndToEnd:
             status, _, body = _request(host, port, "GET", "/healthz")
             assert status == 200
             assert json.loads(body)["status"] == "ok"
+
+            # Readiness is the stricter probe: it requires warm replicas.
+            status, _, body = _request(host, port, "GET", "/readyz")
+            assert status == 200
+            ready = json.loads(body)
+            assert ready["status"] == "ready"
+            assert ready["healthy_replicas"] >= ready["required_replicas"]
 
             analyze = {"scenario": SCENARIO, "body_truncation": 3}
             status, headers, cold = _request(host, port, "POST", "/analyze", analyze)
@@ -215,7 +222,7 @@ class TestServeEndToEnd:
             assert statuses.count(200) >= 1, f"no request admitted: {results}"
             for status, headers in results:
                 if status == 503:
-                    assert headers["Retry-After"] == "1"
+                    assert headers["Retry-After"] in {"1", "2", "3"}
 
             # The saturated server is still healthy afterwards.
             status, _, body = _request(host, port, "GET", "/healthz")

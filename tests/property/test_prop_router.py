@@ -1,0 +1,109 @@
+"""Property-based tests for the consistent-hash request router.
+
+Two guarantees the fleet leans on:
+
+* **Balance** — with enough virtual nodes, keys spread across replicas
+  close to uniformly (no replica silently absorbs the whole workload).
+* **Minimal remapping** — removing one replica moves only the keys it
+  owned (~1/N of the space); every other key keeps its owner, so
+  coalescing and cache affinity survive an eviction.  Re-adding the
+  member restores the original assignment exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import ConsistentHashRouter
+
+
+def _router(members):
+    router = ConsistentHashRouter()
+    for member in members:
+        router.add(member)
+    return router
+
+
+member_counts = st.integers(2, 8)
+keys_strategy = st.lists(
+    st.text(min_size=1, max_size=16), min_size=50, max_size=200, unique=True
+)
+
+
+@given(n=member_counts, keys=keys_strategy)
+@settings(max_examples=30, deadline=None)
+def test_every_key_routes_to_a_member(n, keys):
+    members = [f"r{i}" for i in range(n)]
+    router = _router(members)
+    for key in keys:
+        assert router.route(key) in members
+
+
+@given(n=member_counts)
+@settings(max_examples=20, deadline=None)
+def test_balance_within_tolerance(n):
+    """Shares stay near 1/N for a dense synthetic keyset.
+
+    With 128 vnodes per member the standard deviation of the share is
+    roughly ``1/(N * sqrt(vnodes))``; a 3x-of-mean band is loose enough
+    to never flake yet tight enough to catch a degenerate ring (e.g. a
+    member with no vnodes, which would show a share of 0).
+    """
+    members = [f"r{i}" for i in range(n)]
+    router = _router(members)
+    keys = [f"scenario-{i}" for i in range(4000)]
+    shares = Counter(router.route(key) for key in keys)
+    expected = len(keys) / n
+    for member in members:
+        assert shares[member] > 0, f"{member} owns no keys at all"
+        assert 0.25 * expected <= shares[member] <= 3.0 * expected
+
+
+@given(n=st.integers(3, 8), keys=keys_strategy)
+@settings(max_examples=30, deadline=None)
+def test_removing_one_member_remaps_only_its_keys(n, keys):
+    members = [f"r{i}" for i in range(n)]
+    router = _router(members)
+    before = {key: router.route(key) for key in keys}
+    victim = members[n // 2]
+    router.remove(victim)
+    after = {key: router.route(key) for key in keys}
+    for key in keys:
+        if before[key] != victim:
+            assert after[key] == before[key], (
+                "a key not owned by the removed member changed owner"
+            )
+        else:
+            assert after[key] != victim
+    # The moved fraction is the victim's share: ~1/N of the keys, with
+    # generous slack for small random keysets.
+    moved = sum(1 for key in keys if after[key] != before[key])
+    assert moved <= max(10, 3.0 * len(keys) / n)
+
+
+@given(n=st.integers(2, 8), keys=keys_strategy)
+@settings(max_examples=30, deadline=None)
+def test_remove_then_add_restores_assignment(n, keys):
+    """Eviction + restart of the same member is a routing no-op."""
+    members = [f"r{i}" for i in range(n)]
+    router = _router(members)
+    before = {key: router.route(key) for key in keys}
+    victim = members[0]
+    router.remove(victim)
+    router.add(victim)
+    after = {key: router.route(key) for key in keys}
+    assert after == before
+
+
+@given(n=member_counts, key=st.text(min_size=1, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_preference_walk_covers_the_fleet_once(n, key):
+    """The failover order lists every member exactly once, owner first."""
+    members = [f"r{i}" for i in range(n)]
+    router = _router(members)
+    order = list(router.preference(key))
+    assert order[0] == router.route(key)
+    assert sorted(order) == sorted(members)

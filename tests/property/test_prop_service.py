@@ -82,7 +82,7 @@ def test_concurrent_identical_requests_compute_once(burst, payload):
             await asyncio.sleep(0.001)
         gate.release.set()
         results = await asyncio.gather(*tasks)
-        service._pool.shutdown(wait=True)
+        await service.stop()
         return gate, service, results
 
     gate, service, results = asyncio.run(main())
@@ -92,11 +92,14 @@ def test_concurrent_identical_requests_compute_once(burst, payload):
     assert len(bodies) == 1, "all clients must see byte-identical payloads"
     assert gate.calls == 1, "exactly one underlying computation"
     assert service.metrics.counter("computations") == 1
-    # Conservation: leader + followers + cache hits account for the burst.
+    # Conservation: leader + followers + cache hits + degraded servings
+    # account for the burst (degraded is 0 here; the term documents the
+    # full invariant the fleet preserves under faults).
     assert (
         service.metrics.counter("computations")
         + service.metrics.counter("coalesced")
         + service.metrics.counter("cache_served")
+        + service.metrics.counter("degraded")
         == burst
     )
 
@@ -118,7 +121,7 @@ def test_repeated_bursts_hit_the_cache_after_the_first(burst, repeats):
                 *[service.dispatch("POST", "/stub", body) for _ in range(burst)]
             )
             seen.update(payload for _, _, payload in results)
-        service._pool.shutdown(wait=True)
+        await service.stop()
         return gate, service, seen
 
     gate, service, seen = asyncio.run(main())
@@ -129,6 +132,7 @@ def test_repeated_bursts_hit_the_cache_after_the_first(burst, repeats):
         service.metrics.counter("computations")
         + service.metrics.counter("coalesced")
         + service.metrics.counter("cache_served")
+        + service.metrics.counter("degraded")
         == total
     )
     cache = service.response_cache

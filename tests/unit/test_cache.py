@@ -66,6 +66,8 @@ class TestAnalysisCache:
             "hit_rate": 0.0,
             "max_entries": None,
             "ttl": None,
+            "stale_grace": None,
+            "stale_hits": 0,
         }
 
     def test_lookups_always_equal_hits_plus_misses(self):

@@ -294,7 +294,9 @@ class TestServiceComputePath:
                 "POST", "/stub", json.dumps({"v": 2}).encode()
             )
             assert status == 503
-            assert headers["Retry-After"] == "1"
+            # Retry-After is jittered (1-3 s) so rejected clients do not
+            # re-stampede the admission queue on the same second.
+            assert headers["Retry-After"] in {"1", "2", "3"}
             assert b"admission queue full" in payload
             assert service.metrics.counter("rejected") == 1
             gate.release.set()
@@ -713,5 +715,182 @@ class TestSimulateSweep:
                 status, payload = await status_of(sweep)
                 assert status == 400, sweep
                 assert fragment in payload, (sweep, payload)
+
+        run(main())
+
+
+class TestFleetServing:
+    """Service-level behavior of the supervised replica fleet."""
+
+    @staticmethod
+    def _conserved(service, total):
+        """The request-conservation invariant under faults."""
+        served = (
+            service.metrics.counter("computations")
+            + service.metrics.counter("coalesced")
+            + service.metrics.counter("cache_served")
+            + service.metrics.counter("degraded")
+        )
+        return served == total
+
+    def test_mid_flight_eviction_reroutes_instead_of_leaking(self):
+        """Regression: a replica evicted mid-flight must not strand its
+        in-flight requests — they re-route with the remaining budget."""
+
+        async def main():
+            gate = _Gate()
+            service = _stub_service(gate, replicas=2)
+            await service.supervisor.start()
+            key = request_fingerprint("/stub", {"v": 1})
+            owner = service.supervisor._router.route(key)
+            task = asyncio.ensure_future(
+                service.dispatch("POST", "/stub", json.dumps({"v": 1}).encode())
+            )
+            victim = service.supervisor.replica(owner)
+            await _settle(lambda: victim.inflight > 0)
+            service.supervisor._evict(victim, reason="test")
+            # The re-routed attempt is the gate's second call; release
+            # only after it has started so the first attempt provably
+            # died to the eviction, not to a fast completion.
+            await _settle(lambda: gate.calls == 2)
+            gate.release.set()
+            status, headers, payload = await task
+            assert status == 200
+            assert headers["X-Repro-Cache"] == "miss"
+            assert "X-Repro-Degraded" not in headers
+            assert json.loads(payload)["request"] == {"v": 1}
+            fleet = service.supervisor.metrics
+            assert fleet.counter("reroutes") == 1
+            assert fleet.counter("evictions") == 1
+            assert service.metrics.counter("computations") == 1
+            assert self._conserved(service, 1)
+            await service.stop()
+
+        run(main())
+
+    def test_degraded_stale_cache_serving(self):
+        """With no healthy replica, an expired cache entry is re-served
+        flagged ``degraded`` instead of failing the request."""
+
+        async def main():
+            gate = _Gate()
+            gate.release.set()
+            service = _stub_service(
+                gate, replicas=1, cache_ttl=0.05, route_wait=0.05
+            )
+            body = json.dumps({"v": 1}).encode()
+            status, _, fresh = await service.dispatch("POST", "/stub", body)
+            assert status == 200
+            # Kill routability without triggering a supervised restart.
+            service.supervisor.replica("r0").evict()
+            await asyncio.sleep(0.1)  # let the cache entry expire
+            status, headers, payload = await service.dispatch(
+                "POST", "/stub", body
+            )
+            assert status == 200
+            assert headers["X-Repro-Degraded"] == "stale"
+            degraded = json.loads(payload)
+            assert degraded["degraded"] is True
+            pristine = json.loads(fresh)
+            pristine.pop("degraded", None)
+            degraded.pop("degraded")
+            assert degraded == pristine, "stale body matches the original"
+            assert service.metrics.counter("degraded") == 1
+            assert service.metrics.counter("degraded_stale") == 1
+            assert self._conserved(service, 2)
+            # Degraded bodies are never cached: the flag would otherwise
+            # shadow the real answer after the fleet recovers.
+            found, _ = service.response_cache.lookup(
+                request_fingerprint("/stub", {"v": 1})
+            )
+            assert not found
+            await service.stop()
+
+        run(main())
+
+    def test_degraded_approximation_when_cache_is_cold(self):
+        async def main():
+            gate = _Gate()
+            endpoint = Endpoint(
+                "/stub",
+                "stub",
+                canonicalize=lambda p: {"v": p.get("v", 0)},
+                compute=gate,
+                approximate=lambda canonical: {"estimate": canonical["v"] + 1},
+            )
+            config = ServiceConfig(port=0, route_wait=0.05)
+            service = AnalysisService(
+                config,
+                endpoints={"/stub": endpoint},
+                executor_factory=lambda: ThreadPoolExecutor(max_workers=1),
+            )
+            await service.supervisor.start()
+            service.supervisor.replica("r0").evict()
+            status, headers, payload = await service.dispatch(
+                "POST", "/stub", json.dumps({"v": 4}).encode()
+            )
+            assert status == 200
+            assert headers["X-Repro-Degraded"] == "approximation"
+            result = json.loads(payload)
+            assert result == {"degraded": True, "estimate": 5}
+            assert service.metrics.counter("degraded_approximations") == 1
+            assert self._conserved(service, 1)
+            await service.stop()
+
+        run(main())
+
+    def test_unserved_degradation_returns_503_with_retry_after(self):
+        async def main():
+            gate = _Gate()
+            service = _stub_service(gate, replicas=1, route_wait=0.05)
+            await service.supervisor.start()
+            service.supervisor.replica("r0").evict()
+            status, headers, payload = await service.dispatch(
+                "POST", "/stub", json.dumps({"v": 1}).encode()
+            )
+            assert status == 503
+            assert headers["Retry-After"] in {"1", "2", "3"}
+            assert b"no healthy compute replica" in payload
+            assert service.metrics.counter("unserved") == 1
+            await service.stop()
+
+        run(main())
+
+    def test_readiness_tracks_healthy_replica_count(self):
+        async def main():
+            gate = _Gate()
+            service = _stub_service(gate, replicas=2)
+            await service.supervisor.start()
+            status, _, payload = await service.dispatch("GET", "/readyz")
+            ready = json.loads(payload)
+            assert (status, ready["status"]) == (200, "ready")
+            assert ready["healthy_replicas"] == 2
+            # Liveness stays green while readiness goes red.
+            for replica_id in service.supervisor.replica_ids():
+                service.supervisor.replica(replica_id).evict()
+            status, headers, payload = await service.dispatch("GET", "/readyz")
+            unready = json.loads(payload)
+            assert (status, unready["status"]) == (503, "unready")
+            assert headers["Retry-After"] in {"1", "2", "3"}
+            assert unready["healthy_replicas"] == 0
+            status, _, _ = await service.dispatch("GET", "/healthz")
+            assert status == 200
+            await service.stop()
+
+        run(main())
+
+    def test_metrics_exposes_fleet_snapshot(self):
+        async def main():
+            gate = _Gate()
+            gate.release.set()
+            service = _stub_service(gate, replicas=2)
+            await service.dispatch(
+                "POST", "/stub", json.dumps({"v": 1}).encode()
+            )
+            _, _, payload = await service.dispatch("GET", "/metrics")
+            fleet = json.loads(payload)["fleet"]
+            assert set(fleet["replicas"]) == {"r0", "r1"}
+            assert fleet["healthy_replicas"] == 2
+            await service.stop()
 
         run(main())
