@@ -23,7 +23,13 @@ recorded ``cpu_count=1`` serial baseline:
 * the PERF-CHAOS availability ledger — the committed chaos-benchmark
   record must show the fleet meeting its >= 0.99 completion SLO with the
   eviction/restart books balanced against the injected fault count
-  (catches a stale or hand-edited artifact slipping past the chaos job).
+  (catches a stale or hand-edited artifact slipping past the chaos job);
+* per-*report* online detection time on the recorded PERF-STREAM load —
+  catches the incremental sliding window degrading back toward the
+  offline recount-the-window cost (the exact optimisation
+  :class:`~repro.streaming.detector.SlidingWindowDetector` exists for) —
+  plus ledger pins on the committed pipeline row (digest must have
+  matched; latency percentiles must be coherent).
 
 The 3x envelope absorbs host-speed differences between the recording
 machine and CI runners while still catching order-of-magnitude
@@ -258,3 +264,71 @@ def test_chaos_availability_vs_recorded_baseline():
     assert row["restarts"] == fault_count, (
         "committed chaos record's restarts do not match its fault script"
     )
+
+
+def test_stream_detector_time_vs_recorded_baseline():
+    baseline = _load_baseline("perf-stream.json")
+    detector_rows = [
+        row for row in baseline.rows if row["path"] == "detector_only"
+    ]
+    assert detector_rows, "perf-stream.json has no detector_only row"
+    reports_per_period = baseline.parameters["reports_per_period"]
+    baseline_reports = (
+        baseline.parameters["periods"] * reports_per_period
+    )
+    baseline_per_report = detector_rows[0]["seconds"] / baseline_reports
+
+    from benchmarks.bench_stream import _synthetic_stream
+    from repro.streaming.detector import SlidingWindowDetector
+
+    scenario = onr_scenario(
+        num_sensors=baseline.parameters["num_sensors"],
+        window=baseline.parameters["window"],
+        threshold=baseline.parameters["threshold"],
+    )
+    smoke_periods = 500
+    stream = _synthetic_stream(
+        scenario, smoke_periods, reports_per_period,
+        baseline.parameters["seed"],
+    )
+    SlidingWindowDetector(
+        scenario.window, scenario.threshold
+    ).process_stream(stream)  # warm-up
+    detector = SlidingWindowDetector(scenario.window, scenario.threshold)
+    start = time.perf_counter()
+    detector.process_stream(stream)
+    per_report = (time.perf_counter() - start) / (
+        smoke_periods * reports_per_period
+    )
+
+    assert per_report <= REGRESSION_FACTOR * baseline_per_report, (
+        f"smoke per-report online detection time "
+        f"{per_report * 1e6:.2f} us exceeds {REGRESSION_FACTOR}x the "
+        f"recorded baseline {baseline_per_report * 1e6:.2f} us"
+    )
+
+
+def test_stream_pipeline_ledger_vs_recorded_baseline():
+    """Pin the committed PERF-STREAM pipeline row's invariants.
+
+    ``bench_stream.py`` enforces them live (and CI's stream-smoke job
+    exercises the socket path per merge); this gate keeps the committed
+    artifact honest: the online == offline digest check must have
+    passed and the latency percentiles must be coherent.
+    """
+    baseline = _load_baseline("perf-stream.json")
+    pipeline_rows = [row for row in baseline.rows if row["path"] == "pipeline"]
+    assert pipeline_rows, "perf-stream.json has no pipeline row"
+    row = pipeline_rows[0]
+    assert row["digest_match"] is True, (
+        "committed stream record was produced without the online/offline "
+        "digest agreeing"
+    )
+    assert 0.0 < row["p50_event_latency_ms"] <= row["p99_event_latency_ms"]
+    assert row["reports_per_sec"] > 0.0
+    total = baseline.parameters["periods"] * (
+        baseline.parameters["reports_per_period"]
+    )
+    assert abs(
+        row["reports_per_sec"] * row["seconds"] - total
+    ) <= 1e-6 * total, "committed throughput does not match its own timing"

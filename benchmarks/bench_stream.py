@@ -1,0 +1,232 @@
+"""PERF-STREAM — sustained throughput of the streaming detection pipeline.
+
+Boots an in-process :class:`repro.service.AnalysisService` with the
+framed-TCP stream ingest listener enabled and measures the full online
+path — publisher socket → frame decoding → session validation →
+:class:`SlidingWindowDetector` → ``/subscribe`` fan-out — under
+sustained load at the paper's ONR operating point (M=20, k=5, N=240):
+
+* **reports/sec** — synthetic reports streamed per wall-clock second,
+  publisher-to-summary (the sustained ingest rate);
+* **event-emission latency** — per period, the time from the publisher
+  writing the ``reports`` frame to a live ``/subscribe`` consumer
+  receiving that period's fanned-out detection event (p50/p99).
+
+A pure-detector pass (no sockets) is recorded alongside, giving the
+regression gate a machine-comparable per-report cost for the
+incremental sliding-window update itself.
+
+Correctness is pinned inside the run: the publisher pins the offline
+event digest in its end frame (the server rejects the stream on any
+online/offline divergence) and the subscriber's fanned-out events must
+hash to the same digest.
+
+Environment knobs (shared ones in ``benchmarks/conftest.py``):
+
+* ``REPRO_BENCH_STREAM_PERIODS`` — sensing periods streamed (default 2000).
+* ``REPRO_BENCH_STREAM_REPORTS`` — reports per period (default 16).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.bench_service import _ServerThread
+from benchmarks.conftest import bench_seed
+from repro.detection.reports import DetectionReport
+from repro.experiments.presets import onr_scenario
+from repro.experiments.records import ExperimentRecord
+from repro.geometry.shapes import Point
+from repro.service import ServiceConfig
+from repro.streaming import protocol
+from repro.streaming.client import subscribe
+from repro.streaming.detector import DetectionEvent, SlidingWindowDetector, event_digest
+
+_EVENT_FIELDS = (
+    "period",
+    "fired",
+    "new_detection",
+    "windowed_reports",
+    "distinct_nodes",
+    "new_reports",
+)
+
+
+def _stream_periods() -> int:
+    return int(os.environ.get("REPRO_BENCH_STREAM_PERIODS", "2000"))
+
+
+def _stream_reports() -> int:
+    return int(os.environ.get("REPRO_BENCH_STREAM_REPORTS", "16"))
+
+
+def _synthetic_stream(scenario, periods, reports_per_period, seed):
+    """Deterministic sustained load: dense periods of plausible reports."""
+    rng = np.random.default_rng(seed)
+    nodes = rng.integers(
+        0, scenario.num_sensors, size=(periods, reports_per_period)
+    )
+    positions = rng.uniform(
+        (0.0, 0.0),
+        (scenario.field.width, scenario.field.height),
+        size=(periods, reports_per_period, 2),
+    )
+    return [
+        (
+            period,
+            [
+                DetectionReport(
+                    int(nodes[period - 1, i]),
+                    period,
+                    Point(*positions[period - 1, i]),
+                )
+                for i in range(reports_per_period)
+            ],
+        )
+        for period in range(1, periods + 1)
+    ]
+
+
+def test_stream_pipeline_profile(emit_record):
+    scenario = onr_scenario()  # the paper's operating point: M=20, k=5
+    periods = _stream_periods()
+    reports_per_period = _stream_reports()
+    seed = bench_seed()
+    stream = _synthetic_stream(scenario, periods, reports_per_period, seed)
+
+    # Offline pass: the digest the server is held to, and the
+    # pure-detector per-report cost for the regression gate.
+    detector = SlidingWindowDetector(scenario.window, scenario.threshold)
+    start = time.perf_counter()
+    detector.process_stream(stream)
+    detector_seconds = time.perf_counter() - start
+    offline_digest = detector.digest()
+
+    config = ServiceConfig(port=0, stream_port=0, workers=1)
+    send_times = {}
+    recv_times = {}
+    consumer_frames = []
+
+    with _ServerThread(config) as server:
+        service = server.service
+        consumer_ready = threading.Event()
+
+        def consume():
+            sock, frames = subscribe(
+                service.host, service.port, until_end=True
+            )
+            consumer_ready.set()
+            try:
+                for frame in frames:
+                    if frame.get("type") == "event":
+                        recv_times[frame["period"]] = time.perf_counter()
+                    consumer_frames.append(frame)
+            finally:
+                sock.close()
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        assert consumer_ready.wait(timeout=10)
+        time.sleep(0.2)  # let the subscription register on the loop
+
+        with socket.create_connection(
+            (service.host, service.stream_port), timeout=60
+        ) as sock:
+            publish_start = time.perf_counter()
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.hello_frame(scenario, seed=seed)
+                )
+            )
+            for seq, (period, reports) in enumerate(stream, start=1):
+                payload = protocol.encode_frame(
+                    protocol.reports_frame(seq, period, reports)
+                )
+                send_times[period] = time.perf_counter()
+                sock.sendall(payload)
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.end_frame(
+                        len(stream) + 1,
+                        periods=periods,
+                        total_reports=periods * reports_per_period,
+                        event_digest=offline_digest,
+                    )
+                )
+            )
+            decoder = protocol.FrameDecoder()
+            summary = None
+            while summary is None:
+                chunk = sock.recv(1 << 16)
+                assert chunk, "server closed without a summary"
+                for frame in decoder.feed(chunk):
+                    assert frame.get("type") != "error", frame
+                    if frame.get("type") == "end":
+                        summary = frame
+            publish_seconds = time.perf_counter() - publish_start
+        consumer.join(timeout=60)
+        assert not consumer.is_alive()
+
+    # -- correctness gates --------------------------------------------
+    # The server's online detector agreed with the offline rule
+    # (it would have rejected the pinned digest otherwise) ...
+    assert summary["event_digest"] == offline_digest
+    assert summary["total_reports"] == periods * reports_per_period
+    # ... and the fanned-out copy agrees too.
+    fanned = [
+        DetectionEvent(**{k: f[k] for k in _EVENT_FIELDS})
+        for f in consumer_frames
+        if f.get("type") == "event"
+    ]
+    assert len(fanned) == periods
+    assert event_digest(fanned) == offline_digest
+
+    latencies = np.asarray(
+        [recv_times[p] - send_times[p] for p in send_times if p in recv_times]
+    )
+    assert latencies.size == periods
+
+    total_reports = periods * reports_per_period
+    record = ExperimentRecord(
+        experiment_id="PERF-STREAM",
+        title="Streaming pipeline sustained load (ONR scenario, M=20, k=5)",
+        parameters={
+            "num_sensors": scenario.num_sensors,
+            "window": scenario.window,
+            "threshold": scenario.threshold,
+            "periods": periods,
+            "reports_per_period": reports_per_period,
+            "seed": seed,
+            "subscriber_queue": config.subscriber_queue,
+        },
+    )
+    record.add_row(
+        path="pipeline",
+        seconds=float(publish_seconds),
+        reports_per_sec=float(total_reports / publish_seconds),
+        periods_per_sec=float(periods / publish_seconds),
+        p50_event_latency_ms=float(np.percentile(latencies, 50) * 1e3),
+        p99_event_latency_ms=float(np.percentile(latencies, 99) * 1e3),
+        digest_match=True,
+        detections=len(summary["detections"]),
+    )
+    record.add_row(
+        path="detector_only",
+        seconds=float(detector_seconds),
+        reports_per_sec=float(total_reports / detector_seconds),
+        periods_per_sec=float(periods / detector_seconds),
+        p50_event_latency_ms=0.0,
+        p99_event_latency_ms=0.0,
+        digest_match=True,
+        detections=len(detector.detection_periods),
+    )
+    emit_record(record)
+
+    # Sanity floors (generous; the regression gate does the real work).
+    assert total_reports / publish_seconds > 1_000
+    assert np.percentile(latencies, 99) < 5.0

@@ -46,3 +46,19 @@ class AnalysisError(ReproError, RuntimeError):
 
 class RoutingError(ReproError, RuntimeError):
     """A packet could not be routed to its destination."""
+
+
+class StreamError(ReproError, RuntimeError):
+    """A report stream could not be recorded, replayed, or served."""
+
+
+class ProtocolError(StreamError):
+    """A wire frame violated the report-stream protocol.
+
+    Carries an optional machine-readable ``code`` so a peer can be told
+    *which* rule it broke in the error frame that precedes the close.
+    """
+
+    def __init__(self, message: str, code: str = "protocol"):
+        super().__init__(message)
+        self.code = code

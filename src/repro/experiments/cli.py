@@ -8,6 +8,9 @@ Regenerates any of the paper's tables/figures from the terminal::
     repro faults --trials 2000 --workers 4
     repro all --trials 1000 --json results/
     repro serve --port 8080 --workers 4 --replicas 2   # JSON analysis service
+    repro serve --port 8080 --stream-port 9090         # + streaming ingest
+    repro stream --record episode.jsonl --seed 7       # record an episode
+    repro stream --replay episode.jsonl --port 9090    # publish a recording
 
 Each experiment is an argparse subcommand; the options shared by every
 experiment (``--trials``, ``--seed``, ``--workers``, ``--accuracy``,
@@ -228,6 +231,8 @@ _HELP: Dict[str, str] = {
     "all": "run every experiment",
     "validate": "run the reproduction acceptance checks",
     "serve": "run the JSON analysis service (see docs/service.md)",
+    "stream": "simulate / record / replay / publish report streams "
+    "(see docs/streaming.md)",
 }
 
 
@@ -329,8 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="experiment",
         help="which experiment to run",
     )
-    for name in sorted(_EXPERIMENTS) + ["all", "validate", "serve"]:
+    for name in sorted(_EXPERIMENTS) + ["all", "validate", "serve", "stream"]:
         sub = subparsers.add_parser(name, parents=[parent], help=_HELP.get(name))
+        if name == "stream":
+            from repro.streaming.cli import add_stream_arguments
+
+            add_stream_arguments(sub)
         if name == "design":
             sub.add_argument(
                 "--max-sensors",
@@ -403,6 +412,23 @@ def build_parser() -> argparse.ArgumentParser:
                 "its remaining budget (default: one attempt may spend "
                 "the full request timeout)",
             )
+            sub.add_argument(
+                "--stream-port",
+                type=int,
+                default=None,
+                dest="stream_port",
+                help="also listen for framed report-stream ingest on this "
+                "port (0 picks a free port and announces it); omitted = "
+                "no streaming",
+            )
+            sub.add_argument(
+                "--subscriber-queue",
+                type=int,
+                default=64,
+                dest="subscriber_queue",
+                help="per-/subscribe consumer bound on undelivered frames "
+                "before the slow consumer is evicted (default: 64)",
+            )
     return parser
 
 
@@ -460,9 +486,16 @@ def _dispatch(args: argparse.Namespace, instrumentation) -> int:
             cache_ttl=args.cache_ttl,
             request_timeout=args.request_timeout,
             attempt_timeout=args.attempt_timeout,
+            stream_port=args.stream_port,
+            subscriber_queue=args.subscriber_queue,
         )
         with instrumentation.span("experiment:serve"):
             return run_service(config)
+    if args.experiment == "stream":
+        from repro.streaming.cli import run_stream
+
+        with instrumentation.span("experiment:stream"):
+            return run_stream(args)
     if args.experiment == "validate":
         from repro.experiments.validation import run_validation
 

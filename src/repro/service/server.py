@@ -81,8 +81,11 @@ from repro.service.supervisor import (
 from repro.service.transport import (
     HttpError,
     HttpTransport,
+    StreamTransport,
+    StreamingResponse,
     json_body as _json_body,
 )
+from repro.streaming.hub import StreamHub
 
 __all__ = ["AnalysisService", "ServiceConfig", "run_service"]
 
@@ -128,6 +131,12 @@ class ServiceConfig:
         fleet_seed: seed for every jitter draw (restart backoff, retry
             backoff, ``Retry-After``) — deterministic like
             :mod:`repro.faults`.
+        stream_port: when set, additionally binds the report-stream
+            ingest listener (framed NDJSON over TCP; ``0`` picks a free
+            port) and enables ``GET /subscribe`` event fan-out.
+        subscriber_queue: per-subscriber bound on undelivered fan-out
+            frames; a subscriber that falls this far behind is evicted
+            (``stream.subscriber_evictions``).
     """
 
     host: str = "127.0.0.1"
@@ -150,8 +159,14 @@ class ServiceConfig:
     crash_window: float = 30.0
     max_recent_crashes: int = 8
     fleet_seed: int = 20080617
+    stream_port: Optional[int] = None
+    subscriber_queue: int = 64
 
     def __post_init__(self) -> None:
+        if self.subscriber_queue < 1:
+            raise ValueError(
+                f"subscriber_queue must be >= 1, got {self.subscriber_queue}"
+            )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.replicas < 1:
@@ -223,6 +238,11 @@ class AnalysisService:
             max_body_bytes=self.config.max_body_bytes,
             on_error=lambda status: self._metrics.incr(f"responses.{status}"),
         )
+        self._stream_hub = StreamHub(
+            MetricsTable("stream"),
+            subscriber_queue=self.config.subscriber_queue,
+        )
+        self._stream_transport = StreamTransport(self._stream_hub.open_session)
         # Jitter source for Retry-After: synchronized rejected clients
         # must not re-stampede the admission queue on the same second.
         self._retry_after_rng = np.random.default_rng(
@@ -250,8 +270,18 @@ class AnalysisService:
         """The replica fleet (exposed for chaos injection and tests)."""
         return self._supervisor
 
+    @property
+    def stream_hub(self) -> StreamHub:
+        """The streaming hub (sessions + subscriber fan-out)."""
+        return self._stream_hub
+
+    @property
+    def stream_port(self) -> Optional[int]:
+        """The bound ingest port, when the stream listener is up."""
+        return self._stream_transport.port
+
     async def start(self) -> None:
-        """Warm the replica fleet, then bind the listening socket."""
+        """Warm the replica fleet, then bind the listening socket(s)."""
         self._started_at = time.monotonic()
         # Config is mutable until the socket binds; pick up late tweaks.
         self._transport.max_body_bytes = self.config.max_body_bytes
@@ -259,6 +289,10 @@ class AnalysisService:
         self.host, self.port = await self._transport.start(
             self.config.host, self.config.port
         )
+        if self.config.stream_port is not None:
+            await self._stream_transport.start(
+                self.config.host, self.config.stream_port
+            )
 
     async def stop(self) -> None:
         """Stop listening, cancel in-flight handlers, tear down the fleet.
@@ -268,6 +302,9 @@ class AnalysisService:
         abandons an overdue pool (terminate, never join), so a
         mid-request SIGTERM exits promptly.
         """
+        self._stream_hub.close()
+        if self._stream_transport.serving:
+            await self._stream_transport.stop()
         await self._transport.stop()
         await self._supervisor.stop()
 
@@ -321,6 +358,11 @@ class AnalysisService:
                 raise HttpError(405, "use GET /metrics")
             self._metrics.incr("responses.200")
             return 200, {}, _json_body(self._metrics_payload())
+        if path == "/subscribe":
+            if method != "GET":
+                raise HttpError(405, "use GET /subscribe")
+            self._metrics.incr("responses.200")
+            return 200, {}, self._subscribe_response()
         endpoint = self._endpoints.get(path)
         if endpoint is None:
             raise HttpError(404, f"unknown path {path!r}")
@@ -329,6 +371,29 @@ class AnalysisService:
         body_bytes, headers = await self._handle_compute(endpoint, body)
         self._metrics.incr("responses.200")
         return 200, headers, body_bytes
+
+    # -- streaming fan-out ---------------------------------------------
+
+    def _subscribe_response(self) -> StreamingResponse:
+        """An open-ended NDJSON body fed from a fresh hub subscription.
+
+        The subscriber is registered only once the response head is on
+        the wire (``run`` time), so a rejected request never occupies a
+        queue slot.  A small write buffer keeps backpressure from a
+        slow consumer visible to the hub quickly — that is what turns a
+        stalled reader into a counted eviction instead of unbounded
+        server-side buffering.
+        """
+        hub = self._stream_hub
+
+        async def run(writer: asyncio.StreamWriter) -> None:
+            try:
+                writer.transport.set_write_buffer_limits(high=1 << 14)
+            except (AttributeError, RuntimeError):  # pragma: no cover
+                pass
+            await hub.subscribe().pump(writer)
+
+        return StreamingResponse(run)
 
     # -- compute path --------------------------------------------------
 
@@ -509,6 +574,7 @@ class AnalysisService:
                 if self._supervisor.started
                 else {"started": False}
             ),
+            "stream": self._stream_hub.snapshot(),
             "uptime_seconds": time.monotonic() - self._started_at,
         }
 
@@ -522,6 +588,13 @@ async def _serve_until_signalled(config: ServiceConfig) -> int:
         f"worker(s)) listening on {service.host}:{service.port}",
         flush=True,
     )
+    if service.stream_port is not None:
+        # Same convention: the ingest address is this line's final token.
+        print(
+            "repro-stream ingest listening on "
+            f"{service.host}:{service.stream_port}",
+            flush=True,
+        )
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):

@@ -1,15 +1,25 @@
-"""The transport layer: HTTP/1.1 plumbing over asyncio streams.
+"""The transport layer: HTTP/1.1 and framed-NDJSON plumbing over asyncio.
 
 This is the outermost of the service's three seams (transport → router →
-compute pool): it owns the listening socket, parses request lines,
+compute pool): it owns the listening sockets, parses request lines,
 headers and bodies, enforces the body-size cap, and serialises
 ``(status, headers, body)`` triples back onto the wire.  It knows
 nothing about endpoints, caching, admission, or replicas — everything
 semantic happens behind the ``dispatch`` coroutine it is constructed
 with, so the orchestration layer can be driven socketlessly in tests
-(:meth:`repro.service.server.AnalysisService.dispatch`) and the
-transport swapped out (e.g. for a unix-socket or framed-TCP listener)
-without touching routing or compute.
+(:meth:`repro.service.server.AnalysisService.dispatch`).
+
+Two listeners share this module:
+
+* :class:`HttpTransport` — the request/response JSON API.  A dispatch
+  may return a :class:`StreamingResponse` instead of body bytes, in
+  which case the connection stays open and NDJSON frames are written
+  until the stream ends (``GET /subscribe``);
+* :class:`StreamTransport` — the report-stream ingest listener: framed
+  newline-delimited JSON (:mod:`repro.streaming.protocol`) over plain
+  TCP.  Each connection gets one session object from the configured
+  factory; protocol violations are answered with an ``error`` frame and
+  a clean close — never a hang.
 """
 
 from __future__ import annotations
@@ -18,7 +28,14 @@ import asyncio
 import json
 from typing import Any, Callable, Dict, Optional, Tuple
 
-__all__ = ["HttpError", "HttpTransport", "json_body", "response_bytes"]
+__all__ = [
+    "HttpError",
+    "HttpTransport",
+    "StreamTransport",
+    "StreamingResponse",
+    "json_body",
+    "response_bytes",
+]
 
 
 class HttpError(Exception):
@@ -57,6 +74,40 @@ def response_bytes(
     for name, value in (headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+class StreamingResponse:
+    """A dispatch result whose body is an open-ended NDJSON stream.
+
+    The transport writes the status line and headers (``Connection:
+    close``, no ``Content-Length`` — the body ends when the connection
+    does), then awaits ``run(writer)``, which pumps frames until the
+    stream ends or the client disconnects.
+
+    Args:
+        run: ``async (writer) -> None``; must tolerate cancellation and
+            connection errors (both mean "the client went away").
+        content_type: body media type.
+    """
+
+    def __init__(
+        self,
+        run: Callable[..., Any],
+        content_type: str = "application/x-ndjson",
+    ):
+        self.run = run
+        self.content_type = content_type
+
+    def head_bytes(self, status: int, headers: Dict[str, str]) -> bytes:
+        """The response head announcing an until-close NDJSON body."""
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {self.content_type}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
 
 
 def json_body(payload: Dict[str, Any]) -> bytes:
@@ -145,8 +196,13 @@ class HttpTransport:
                 status, headers, payload = await self._dispatch(
                     method, path, body
                 )
-            writer.write(response_bytes(status, payload, headers))
-            await writer.drain()
+            if isinstance(payload, StreamingResponse):
+                writer.write(payload.head_bytes(status, headers))
+                await writer.drain()
+                await payload.run(writer)
+            else:
+                writer.write(response_bytes(status, payload, headers))
+                await writer.drain()
         except (asyncio.CancelledError, ConnectionError, BrokenPipeError):
             pass
         finally:
@@ -191,3 +247,117 @@ class HttpTransport:
         body = await reader.readexactly(length) if length else b""
         path = target.split("?", 1)[0]
         return method.upper(), path, body
+
+
+class StreamTransport:
+    """The report-stream ingest listener: framed NDJSON over TCP.
+
+    Args:
+        session_factory: builds one session object per connection; the
+            session exposes ``handle(frame) -> [reply frames]`` (raising
+            :class:`repro.errors.ProtocolError` on grammar violations),
+            an ``ended`` flag, and ``close()``.
+        max_frame_bytes: per-frame size cap handed to the decoder.
+        write_buffer_high: asyncio write-buffer high-water mark for the
+            connection, kept small so a reply to a stalled peer
+            backpressures promptly instead of ballooning user-space
+            buffers.
+    """
+
+    def __init__(
+        self,
+        session_factory: Callable[[], Any],
+        max_frame_bytes: int = 1 << 20,
+        write_buffer_high: int = 1 << 14,
+    ):
+        self._session_factory = session_factory
+        self.max_frame_bytes = max_frame_bytes
+        self.write_buffer_high = write_buffer_high
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    @property
+    def serving(self) -> bool:
+        """Whether the ingest socket is open."""
+        return self._server is not None
+
+    async def start(self, host: str, port: int) -> Tuple[str, int]:
+        """Bind the ingest socket; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._on_client, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Close the listener and cancel in-flight session handlers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Imported here so the HTTP-only service never pays for the
+        # streaming stack.
+        from repro.errors import ProtocolError
+        from repro.streaming.protocol import FrameDecoder, encode_frame, error_frame
+
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            writer.transport.set_write_buffer_limits(
+                high=self.write_buffer_high
+            )
+        except (AttributeError, RuntimeError):  # pragma: no cover
+            pass
+        session = self._session_factory()
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                at_eof = not chunk
+                try:
+                    frames = decoder.feed(chunk) if chunk else []
+                    if at_eof and decoder.buffered_bytes:
+                        raise ProtocolError(
+                            f"{decoder.buffered_bytes} trailing bytes "
+                            "after the last complete frame",
+                            code="trailing",
+                        )
+                    for frame in frames:
+                        for reply in session.handle(frame):
+                            writer.write(encode_frame(reply))
+                            await writer.drain()
+                        # One read can complete hundreds of frames; yield
+                        # between them so subscriber pumps (and other
+                        # connections) interleave with a bursty publisher
+                        # instead of overflowing their bounded queues.
+                        await asyncio.sleep(0)
+                except ProtocolError as exc:
+                    writer.write(encode_frame(error_frame(str(exc), exc.code)))
+                    await writer.drain()
+                    break
+                if at_eof:
+                    break
+        except (asyncio.CancelledError, ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            session.close()
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass

@@ -1,0 +1,268 @@
+"""The ``repro stream`` subcommand: simulate, record, replay, publish.
+
+Four modes, composable from the same flags:
+
+* ``repro stream`` — simulate one episode and run it through the online
+  detector locally, cross-checking the offline rule;
+* ``repro stream --record FILE`` — simulate and record the episode as a
+  regression fixture (NDJSON + manifest sidecar);
+* ``repro stream --replay FILE`` — replay a recording locally,
+  verifying both manifest digests and online-vs-offline equivalence;
+* ``repro stream --port P [--replay FILE]`` — publish the episode (or
+  recording) into a running ``repro serve --stream-port`` ingest
+  listener, pinning the offline event digest so the *server's* online
+  detector is held to the equivalence contract over the wire.
+
+Episode shaping: ``--multi T`` simulates ``T`` simultaneous targets,
+``--false-alarms`` adds node false alarms, and ``--loss/--delay-prob``
+pass the stream through the delivery-fault path
+(:func:`repro.detection.group.deliver_reports`) so what is recorded is
+what the base station would actually have received.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.detection.group import GroupDetector, deliver_reports
+from repro.detection.reports import DetectionReport
+from repro.errors import StreamError
+from repro.experiments.presets import onr_scenario, small_scenario
+from repro.faults import FaultModel
+from repro.simulation.streams import (
+    simulate_multi_target_stream,
+    simulate_report_stream,
+)
+from repro.streaming.client import StreamPublisher
+from repro.streaming.detector import SlidingWindowDetector
+from repro.streaming.recorder import StreamRecorder, StreamReplayer
+
+__all__ = ["add_stream_arguments", "run_stream"]
+
+
+class _Episode:
+    """A materialised episode: scenario + per-period reports + metadata."""
+
+    def __init__(self, scenario, periods, meta: Dict[str, Any]):
+        self.scenario = scenario
+        self.periods = periods
+        self.meta = meta
+        for key, value in meta.items():
+            setattr(self, key, value)
+
+    def stream(self):
+        for period, reports in self.periods:
+            yield period, reports
+
+
+def add_stream_arguments(sub: argparse.ArgumentParser) -> None:
+    """Attach the ``repro stream`` options to its subparser."""
+    sub.add_argument(
+        "--scenario",
+        choices=("small", "onr"),
+        default="small",
+        help="scenario preset for simulated episodes (default: small)",
+    )
+    sub.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help="record the simulated episode to this NDJSON file "
+        "(manifest written alongside)",
+    )
+    sub.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="replay this recording instead of simulating",
+    )
+    sub.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="stream ingest host (default: 127.0.0.1)",
+    )
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="stream ingest port of a running 'repro serve --stream-port' "
+        "server; omitted = local detection only",
+    )
+    sub.add_argument(
+        "--false-alarms",
+        type=float,
+        default=0.0,
+        dest="false_alarms",
+        help="per-sensor per-period false-report probability (default: 0)",
+    )
+    sub.add_argument(
+        "--multi",
+        type=int,
+        default=0,
+        help="simulate this many simultaneous targets (default: 0 = one)",
+    )
+    sub.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-report delivery-loss probability applied to the stream",
+    )
+    sub.add_argument(
+        "--delay-prob",
+        type=float,
+        default=0.0,
+        dest="delay_prob",
+        help="per-report delivery-delay probability",
+    )
+    sub.add_argument(
+        "--delay",
+        type=int,
+        default=1,
+        help="delivery delay in periods when a report is delayed",
+    )
+    sub.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=0,
+        dest="heartbeat_every",
+        help="emit a heartbeat frame after every N published periods",
+    )
+
+
+def build_episode(args: argparse.Namespace) -> _Episode:
+    """Simulate the episode the flags describe (deterministic in --seed)."""
+    scenario = (
+        onr_scenario() if args.scenario == "onr" else small_scenario()
+    )
+    seed = args.seed
+    rng = np.random.default_rng(seed)
+    if args.multi and args.multi > 0:
+        field = scenario.field
+        starts = rng.uniform(
+            (0.0, 0.0), (field.width, field.height), size=(args.multi, 2)
+        )
+        source = simulate_multi_target_stream(
+            scenario, starts, rng=rng, false_alarm_prob=args.false_alarms
+        )
+    else:
+        source = simulate_report_stream(
+            scenario, rng=rng, false_alarm_prob=args.false_alarms
+        )
+    meta: Dict[str, Any] = {}
+    for attr in ("true_report_count", "false_report_count"):
+        value = getattr(source, attr, None)
+        if value is not None:
+            meta[attr] = int(value)
+    if hasattr(source, "num_targets"):
+        meta["num_targets"] = int(source.num_targets)
+    periods: List[Tuple[int, List[DetectionReport]]] = [
+        (period, list(reports)) for period, reports in source.stream()
+    ]
+    if args.loss > 0.0 or args.delay_prob > 0.0:
+        faults = FaultModel(
+            delivery_loss_prob=args.loss,
+            delay_prob=args.delay_prob,
+            delay_periods=args.delay,
+        )
+        periods = [
+            (period, reports)
+            for period, reports in deliver_reports(
+                iter(periods), faults, np.random.default_rng(seed + 1)
+            )
+        ]
+        meta["faults"] = {
+            "delivery_loss_prob": args.loss,
+            "delay_prob": args.delay_prob,
+            "delay_periods": args.delay,
+        }
+    return _Episode(scenario, periods, meta)
+
+
+def _offline_check(scenario, periods) -> Tuple[List[int], str]:
+    """Run both detectors; return (detection periods, event digest).
+
+    Raises:
+        StreamError: if online and offline rules ever disagree — the
+            invariant everything downstream relies on.
+    """
+    offline = GroupDetector(scenario.window, scenario.threshold)
+    online = SlidingWindowDetector(scenario.window, scenario.threshold)
+    for period, reports in periods:
+        fired_offline = offline.observe(period, reports)
+        event = online.observe(period, reports)
+        if event.fired != fired_offline:
+            raise StreamError(
+                f"online/offline divergence at period {period}: "
+                f"online={event.fired} offline={fired_offline}"
+            )
+    if online.detection_periods != offline.detection_periods:
+        raise StreamError(
+            "online/offline detection periods diverged: "
+            f"{online.detection_periods} vs {offline.detection_periods}"
+        )
+    return online.detection_periods, online.digest()
+
+
+def run_stream(args: argparse.Namespace) -> int:
+    """Entry point behind ``repro stream``; returns an exit code."""
+    if args.replay is not None:
+        replayer = StreamReplayer(args.replay)  # verifies its manifest
+        recorded = replayer.recorded
+        scenario, periods = recorded.scenario, recorded.periods
+        meta = recorded.meta
+        seed = recorded.seed
+        print(
+            f"replayed {args.replay}: fingerprint "
+            f"{recorded.fingerprint[:12]}..., {len(periods)} periods, "
+            f"{recorded.total_reports} reports"
+        )
+    else:
+        episode = build_episode(args)
+        scenario, periods, meta = episode.scenario, episode.periods, episode.meta
+        seed = args.seed
+    detections, digest = _offline_check(scenario, periods)
+
+    if args.record is not None:
+        if args.replay is not None:
+            manifest = StreamReplayer(args.replay).rerecord(args.record)
+        else:
+            with StreamRecorder(
+                args.record, scenario, seed=seed, meta=meta or None
+            ) as recorder:
+                for period, reports in periods:
+                    recorder.write_period(period, reports)
+            manifest = recorder.close()
+        print(
+            f"recorded {args.record}: {manifest['periods']} periods, "
+            f"{manifest['total_reports']} reports, event digest "
+            f"{manifest['event_digest'][:12]}..., frame digest "
+            f"{manifest['frame_digest'][:12]}..."
+        )
+
+    if args.port is not None:
+        publisher = StreamPublisher(args.host, args.port)
+        summary = publisher.publish(
+            scenario,
+            iter(periods),
+            seed=seed,
+            meta=meta or None,
+            event_digest=digest,
+            heartbeat_every=args.heartbeat_every,
+        )
+        print(
+            f"published to {args.host}:{args.port} — server confirmed "
+            f"{summary['periods']} periods, {summary['total_reports']} "
+            f"reports, detections at {summary['detections']}, event "
+            f"digest match"
+        )
+    else:
+        fired = "fired at periods " + str(detections) if detections else "no detection"
+        print(
+            f"online detection over {len(periods)} periods "
+            f"({sum(len(r) for _, r in periods)} reports): {fired}; "
+            f"event digest {digest[:12]}... (offline rule agrees)"
+        )
+    return 0

@@ -1,0 +1,209 @@
+"""Acceptance: the full streaming pipeline over real sockets.
+
+Boots ``repro serve --stream-port`` in a subprocess, attaches three
+``/subscribe`` consumers — one deliberately slow (tiny receive buffer,
+never reads) — and publishes two sessions into the ingest listener:
+
+1. a flood session (20 000 empty periods) that must evict the slow
+   consumer exactly once (``stream.subscriber_evictions == 1``) while
+   the fast consumers keep up;
+2. a golden-corpus recording published with its manifest event digest
+   pinned — the server's online detector must agree (the publish fails
+   otherwise) and the fast consumers' fanned-out event sequences must
+   hash to the same digest.
+
+Both fast consumers must observe byte-identical frame sequences.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.streaming.client import StreamPublisher, subscribe
+from repro.streaming.detector import DetectionEvent, event_digest
+from repro.streaming.recorder import StreamReplayer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+CORPUS = REPO_ROOT / "tests" / "data" / "streams" / "multi_target.jsonl"
+
+FLOOD_PERIODS = 20_000
+EVENT_FIELDS = (
+    "period",
+    "fired",
+    "new_detection",
+    "windowed_reports",
+    "distinct_nodes",
+    "new_reports",
+)
+
+
+def _spawn_server():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--port",
+            "0",
+            "--stream-port",
+            "0",
+            "--subscriber-queue",
+            "64",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    addresses = {}
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline and len(addresses) < 2:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            break
+        # Both announce lines put the address in the final token.
+        if line.startswith("repro-service (") and "listening on" in line:
+            addresses["http"] = line.rsplit(" ", 1)[-1].strip()
+        elif line.startswith("repro-stream ingest listening on"):
+            addresses["ingest"] = line.rsplit(" ", 1)[-1].strip()
+    if len(addresses) < 2:
+        stderr = process.stderr.read()
+        process.kill()
+        raise AssertionError(
+            f"server never announced both listeners; stderr:\n{stderr}"
+        )
+
+    def port(key):
+        return int(addresses[key].rpartition(":")[2])
+
+    return process, port("http"), port("ingest")
+
+
+def _shutdown(process):
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    try:
+        return process.wait(timeout=30)
+    finally:
+        if process.poll() is None:  # pragma: no cover - hung server
+            process.kill()
+
+
+def _collect_sessions(http_port, out, ends=2):
+    """Subscribe and collect frames until `ends` sessions have ended."""
+    sock, frames = subscribe("127.0.0.1", http_port, until_end=False)
+    try:
+        seen = 0
+        for frame in frames:
+            out.append(frame)
+            if frame.get("type") == "end":
+                seen += 1
+                if seen >= ends:
+                    return
+    finally:
+        sock.close()
+
+
+@pytest.mark.slow
+class TestStreamingAcceptance:
+    def test_publish_fanout_eviction_and_digest(self):
+        replayer = StreamReplayer(CORPUS)
+        process, http_port, ingest_port = _spawn_server()
+        try:
+            # One deliberately slow consumer: tiny receive buffer and it
+            # never reads a byte.
+            slow_sock, _ = subscribe(
+                "127.0.0.1", http_port, recv_buffer=4096
+            )
+            fast_frames = {"a": [], "b": []}
+            consumers = [
+                threading.Thread(
+                    target=_collect_sessions, args=(http_port, out)
+                )
+                for out in fast_frames.values()
+            ]
+            for consumer in consumers:
+                consumer.start()
+            time.sleep(0.5)  # let all three subscriptions register
+
+            publisher = StreamPublisher("127.0.0.1", ingest_port)
+
+            # Session 1: flood.  Evicts the slow consumer; fast ones keep up.
+            scenario = replayer.recorded.scenario
+            flood = publisher.publish(
+                scenario,
+                ((p, []) for p in range(1, FLOOD_PERIODS + 1)),
+                seed=1,
+            )
+            assert flood["periods"] == FLOOD_PERIODS
+            assert flood["detections"] == []
+
+            # Session 2: the golden recording, offline digest pinned —
+            # the server rejects the stream unless its online detector
+            # agrees bitwise.
+            summary = publisher.publish_recorded(replayer.recorded)
+            assert summary["event_digest"] == (
+                replayer.manifest["event_digest"]
+            )
+            assert summary["periods"] == replayer.manifest["periods"]
+            assert summary["total_reports"] == (
+                replayer.manifest["total_reports"]
+            )
+            assert summary["detections"] == (
+                replayer.manifest["detection_periods"]
+            )
+
+            for consumer in consumers:
+                consumer.join(timeout=120)
+                assert not consumer.is_alive(), "consumer never finished"
+
+            # Both fast consumers saw identical, complete sequences:
+            # (hello + events + end) for each of the two sessions.
+            assert fast_frames["a"] == fast_frames["b"]
+            expected = (FLOOD_PERIODS + 2) + (replayer.manifest["periods"] + 2)
+            assert len(fast_frames["a"]) == expected
+
+            # The second session's fanned-out events hash to the
+            # recorder manifest's digest.
+            session_id = replayer.manifest["session"]
+            events = [
+                DetectionEvent(**{k: f[k] for k in EVENT_FIELDS})
+                for f in fast_frames["a"]
+                if f.get("type") == "event" and f.get("session") == session_id
+            ]
+            assert event_digest(events) == replayer.manifest["event_digest"]
+
+            # Exactly one eviction, mirrored through the metrics page.
+            metrics = json.load(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{http_port}/metrics"
+                )
+            )
+            stream = metrics["stream"]
+            assert stream["counters"]["subscriber_evictions"] == 1
+            assert stream["counters"]["sessions_completed"] == 2
+            assert stream["counters"]["subscribers"] == 3
+            # The evicted subscriber is detached immediately; the fast
+            # consumers' own disconnects are only observed at the next
+            # write, so at most the two of them may still be registered.
+            assert stream["subscribers_active"] <= 2
+            slow_sock.close()
+        finally:
+            returncode = _shutdown(process)
+        assert returncode == 0

@@ -1,0 +1,117 @@
+"""The golden stream corpus: recordings as pinned regression fixtures.
+
+Every ``tests/data/streams/*.jsonl`` recording (regenerated only by its
+``regenerate.py``) is held to four contracts:
+
+* the manifest verifies — file bytes match ``frame_digest`` and the
+  replayed event sequence matches ``event_digest``;
+* record → replay → re-record is **byte-identical**;
+* the online :class:`SlidingWindowDetector` and the offline
+  :class:`GroupDetector` make bitwise-identical decisions on it;
+* the handshake fingerprint matches the embedded scenario.
+
+A detector behaviour change that alters any event fails here first.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.detection.group import GroupDetector
+from repro.obs.instrumentation import scenario_fingerprint
+from repro.streaming.detector import SlidingWindowDetector, event_digest
+from repro.streaming.recorder import MANIFEST_SUFFIX, StreamReplayer
+
+CORPUS_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "data" / "streams"
+)
+CORPUS = sorted(CORPUS_DIR.glob("*.jsonl"))
+CORPUS_IDS = [path.stem for path in CORPUS]
+
+
+def test_corpus_is_present_and_diverse():
+    """The issue pins >= 4 episodes including multi-target and faulted."""
+    assert len(CORPUS) >= 4
+    assert "multi_target" in CORPUS_IDS
+    assert "faulted_dropout" in CORPUS_IDS
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=CORPUS_IDS)
+def test_manifest_verifies(path):
+    replayer = StreamReplayer(path)  # verify_manifest=True raises on drift
+    assert replayer.manifest is not None
+    manifest = replayer.manifest
+    assert manifest["frame_digest"] == replayer.frame_digest
+    assert manifest["periods"] == len(replayer.recorded.periods)
+    assert manifest["total_reports"] == replayer.recorded.total_reports
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=CORPUS_IDS)
+def test_record_replay_rerecord_round_trip_is_byte_identical(path, tmp_path):
+    replayer = StreamReplayer(path)
+    copy = tmp_path / path.name
+    manifest = replayer.rerecord(copy)
+    assert copy.read_bytes() == path.read_bytes()
+    original_manifest = path.with_name(path.name + MANIFEST_SUFFIX)
+    assert manifest["frame_digest"] == replayer.manifest["frame_digest"]
+    assert manifest["event_digest"] == replayer.manifest["event_digest"]
+    # ... and the re-recording itself replays clean.
+    again = StreamReplayer(copy)
+    assert again.frame_digest == replayer.frame_digest
+    assert original_manifest.exists()
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=CORPUS_IDS)
+def test_online_matches_offline_bitwise(path):
+    recorded = StreamReplayer(path).recorded
+    scenario = recorded.scenario
+    online = SlidingWindowDetector(scenario.window, scenario.threshold)
+    offline = GroupDetector(scenario.window, scenario.threshold)
+    for period, reports in recorded.stream():
+        event = online.observe(period, reports)
+        fired = offline.observe(period, reports)
+        assert event.fired == fired
+        assert event.windowed_reports == len(offline.windowed_reports())
+        assert event.distinct_nodes == len(
+            {r.node_id for r in offline.windowed_reports()}
+        )
+    assert online.detection_periods == offline.detection_periods
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=CORPUS_IDS)
+def test_event_digest_pins_detector_behaviour(path):
+    replayer = StreamReplayer(path)
+    detector = replayer.recorded.detect()
+    assert detector.digest() == replayer.manifest["event_digest"]
+    assert event_digest(detector.events) == replayer.manifest["event_digest"]
+    assert (
+        detector.detection_periods == replayer.manifest["detection_periods"]
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=CORPUS_IDS)
+def test_handshake_fingerprint_matches_scenario(path):
+    recorded = StreamReplayer(path).recorded
+    assert recorded.fingerprint == scenario_fingerprint(recorded.scenario)
+
+
+def test_corpus_covers_both_decisions():
+    """At least one episode fires and at least one stays quiet."""
+    outcomes = {
+        path.stem: bool(StreamReplayer(path).manifest["detection_periods"])
+        for path in CORPUS
+    }
+    assert any(outcomes.values())
+    assert not all(outcomes.values())
+
+
+def test_corpus_has_faulted_metadata():
+    replayer = StreamReplayer(CORPUS_DIR / "faulted_dropout.jsonl")
+    faults = replayer.recorded.meta.get("faults", {})
+    assert faults.get("delivery_loss_prob", 0) > 0
+    assert faults.get("delay_prob", 0) > 0
+
+
+def test_multi_target_metadata():
+    replayer = StreamReplayer(CORPUS_DIR / "multi_target.jsonl")
+    assert replayer.recorded.meta.get("num_targets") == 2

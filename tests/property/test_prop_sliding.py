@@ -1,0 +1,150 @@
+"""Property-based tests for the online sliding-window detector.
+
+The headline property: on any stream, the online
+:class:`SlidingWindowDetector` and the offline
+:class:`GroupDetector` make bitwise-identical decisions — same fired
+flags, same detection periods — and the decision is invariant to how
+the reports were chunked into :meth:`ingest` calls.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.group import GroupDetector
+from repro.detection.reports import DetectionReport
+from repro.geometry.shapes import Point
+from repro.streaming.detector import SlidingWindowDetector, event_digest
+
+
+@st.composite
+def stream_strategy(draw):
+    """An arbitrary report stream: gappy periods, repeated nodes."""
+    num_periods = draw(st.integers(1, 20))
+    gaps = draw(
+        st.lists(
+            st.integers(1, 3), min_size=num_periods, max_size=num_periods
+        )
+    )
+    periods = []
+    period = 0
+    for gap in gaps:
+        period += gap
+        count = draw(st.integers(0, 6))
+        reports = [
+            DetectionReport(
+                draw(st.integers(0, 7)),
+                period,
+                Point(
+                    draw(st.floats(-100, 100, allow_nan=False)),
+                    draw(st.floats(-100, 100, allow_nan=False)),
+                ),
+            )
+            for _ in range(count)
+        ]
+        periods.append((period, reports))
+    return periods
+
+
+@st.composite
+def rule_strategy(draw):
+    return {
+        "window": draw(st.integers(1, 8)),
+        "threshold": draw(st.integers(1, 6)),
+        "min_nodes": draw(st.integers(1, 3)),
+    }
+
+
+class TestOnlineOfflineEquivalence:
+    @given(stream=stream_strategy(), rule=rule_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_decisions_bitwise_identical(self, stream, rule):
+        online = SlidingWindowDetector(**rule)
+        offline = GroupDetector(**rule)
+        for period, reports in stream:
+            event = online.observe(period, reports)
+            fired = offline.observe(period, reports)
+            assert event.fired == fired
+            windowed = offline.windowed_reports()
+            assert event.windowed_reports == len(windowed)
+            assert event.distinct_nodes == len(
+                {report.node_id for report in windowed}
+            )
+        assert online.detection_periods == offline.detection_periods
+
+    @given(stream=stream_strategy(), rule=rule_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_digest_is_replay_stable(self, stream, rule):
+        first = SlidingWindowDetector(**rule)
+        second = SlidingWindowDetector(**rule)
+        first.process_stream(stream)
+        second.process_stream(stream)
+        assert first.digest() == second.digest()
+        assert event_digest(first.events) == event_digest(second.events)
+
+
+class TestInterleavingInvariance:
+    @given(
+        stream=stream_strategy(),
+        rule=rule_strategy(),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_chunked_ingest_equals_one_shot_observe(self, stream, rule, data):
+        """Splitting a period's reports into arbitrary ingest chunks
+        (as the transport might deliver them) never changes the event."""
+        one_shot = SlidingWindowDetector(**rule)
+        chunked = SlidingWindowDetector(**rule)
+        for period, reports in stream:
+            expected = one_shot.observe(period, reports)
+            remaining = list(reports)
+            while remaining:
+                size = data.draw(
+                    st.integers(1, len(remaining)), label="chunk"
+                )
+                for report in remaining[:size]:
+                    chunked.ingest(report)
+                remaining = remaining[size:]
+            actual = chunked.close_period(period)
+            assert actual == expected
+        assert chunked.detection_periods == one_shot.detection_periods
+        assert chunked.digest() == one_shot.digest()
+
+
+class TestWindowInvariants:
+    @given(stream=stream_strategy(), rule=rule_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_event_and_window_state_invariants(self, stream, rule):
+        detector = SlidingWindowDetector(**rule)
+        previous_fired = False
+        last_period = 0
+        for period, reports in stream:
+            event = detector.observe(period, reports)
+            # Event times are strictly monotone, one event per close.
+            assert event.period == period > last_period
+            last_period = period
+            # The incremental counters always agree with the window
+            # recomputed from scratch.
+            windowed = detector.windowed_reports()
+            assert detector.windowed_count == len(windowed) == (
+                event.windowed_reports
+            )
+            assert detector.distinct_node_count == len(
+                {report.node_id for report in windowed}
+            )
+            assert all(
+                period - rule["window"] < r.period <= period
+                for r in windowed
+            )
+            assert event.new_reports == len(reports)
+            # fired is exactly the k-of-M (h-node) predicate ...
+            assert event.fired == (
+                event.windowed_reports >= rule["threshold"]
+                and event.distinct_nodes >= rule["min_nodes"]
+            )
+            # ... and new_detection marks exactly the rising edges.
+            assert event.new_detection == (event.fired and not previous_fired)
+            previous_fired = event.fired
+        assert [e.period for e in detector.events] == [p for p, _ in stream]
+        assert detector.detection_periods == [
+            e.period for e in detector.events if e.fired
+        ]

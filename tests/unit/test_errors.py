@@ -17,6 +17,8 @@ class TestHierarchy:
             "SimulationError",
             "AnalysisError",
             "RoutingError",
+            "StreamError",
+            "ProtocolError",
         ],
     )
     def test_all_derive_from_repro_error(self, name):
@@ -35,8 +37,19 @@ class TestHierarchy:
             assert issubclass(getattr(errors, name), ValueError), name
 
     def test_runtime_errors_are_runtime_errors(self):
-        for name in ("SimulationError", "AnalysisError", "RoutingError"):
+        for name in (
+            "SimulationError",
+            "AnalysisError",
+            "RoutingError",
+            "StreamError",
+        ):
             assert issubclass(getattr(errors, name), RuntimeError), name
+
+    def test_protocol_error_is_stream_error_with_code(self):
+        exc = errors.ProtocolError("bad frame", code="framing")
+        assert isinstance(exc, errors.StreamError)
+        assert exc.code == "framing"
+        assert errors.ProtocolError("default").code == "protocol"
 
     def test_catching_base_class_catches_library_errors(self):
         from repro.experiments.presets import onr_scenario

@@ -1,0 +1,188 @@
+"""Unit tests for the online sliding-window detector."""
+
+import pytest
+
+from repro.detection.group import GroupDetector
+from repro.detection.reports import DetectionReport
+from repro.detection.track_filter import SpeedGateTrackFilter
+from repro.errors import SimulationError
+from repro.geometry.shapes import Point
+from repro.streaming.detector import (
+    DetectionEvent,
+    SlidingWindowDetector,
+    event_digest,
+)
+
+
+def _report(node, period, x=0.0, y=0.0):
+    return DetectionReport(node, period, Point(x, y))
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0, "threshold": 1},
+            {"window": 3, "threshold": 0},
+            {"window": 3, "threshold": 1, "min_nodes": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            SlidingWindowDetector(**kwargs)
+
+
+class TestDecisions:
+    def test_fires_when_k_reports_in_window(self):
+        detector = SlidingWindowDetector(window=3, threshold=2)
+        assert not detector.observe(1, [_report(1, 1)]).fired
+        event = detector.observe(2, [_report(2, 2)])
+        assert event.fired and event.new_detection
+        assert detector.detection_periods == [2]
+
+    def test_window_expiry_clears_the_decision(self):
+        detector = SlidingWindowDetector(window=2, threshold=2)
+        detector.observe(1, [_report(1, 1), _report(2, 1)])
+        assert detector.windowed_count == 2
+        # Period 3's window is {2, 3}: period 1's reports expired.
+        event = detector.observe(3, [])
+        assert not event.fired
+        assert detector.windowed_count == 0
+        assert detector.distinct_node_count == 0
+
+    def test_new_detection_only_on_rising_edge(self):
+        detector = SlidingWindowDetector(window=5, threshold=1)
+        first = detector.observe(1, [_report(1, 1)])
+        second = detector.observe(2, [_report(1, 2)])
+        assert first.new_detection and not second.new_detection
+        assert second.fired
+
+    def test_min_nodes_requires_distinct_reporters(self):
+        detector = SlidingWindowDetector(window=4, threshold=2, min_nodes=2)
+        event = detector.observe(1, [_report(7, 1), _report(7, 1)])
+        assert not event.fired  # two reports, one node
+        event = detector.observe(2, [_report(8, 2)])
+        assert event.fired
+        assert event.distinct_nodes == 2
+
+    def test_gap_periods_may_be_skipped_entirely(self):
+        detector = SlidingWindowDetector(window=3, threshold=2)
+        detector.observe(1, [_report(1, 1)])
+        # Periods 2 and 3 never close; period 4's window is {2, 3, 4}.
+        event = detector.observe(4, [_report(2, 4)])
+        assert event.windowed_reports == 1
+        assert not event.fired
+
+
+class TestIncrementalIngest:
+    def test_ingest_then_close_equals_observe(self):
+        a = SlidingWindowDetector(window=3, threshold=2)
+        b = SlidingWindowDetector(window=3, threshold=2)
+        reports = [_report(1, 1), _report(2, 1), _report(3, 1)]
+        for report in reports:
+            a.ingest(report)
+        event_a = a.close_period(1)
+        event_b = b.observe(1, reports)
+        assert event_a == event_b
+
+    def test_ingest_for_closed_period_rejected(self):
+        detector = SlidingWindowDetector(window=3, threshold=2)
+        detector.observe(2, [])
+        with pytest.raises(SimulationError):
+            detector.ingest(_report(1, 2))
+
+    def test_ingest_for_mismatched_open_period_rejected(self):
+        detector = SlidingWindowDetector(window=3, threshold=2)
+        detector.ingest(_report(1, 3))
+        with pytest.raises(SimulationError):
+            detector.ingest(_report(2, 4))
+
+    def test_close_out_of_order_rejected(self):
+        detector = SlidingWindowDetector(window=3, threshold=2)
+        detector.observe(5, [])
+        with pytest.raises(SimulationError):
+            detector.close_period(5)
+
+    def test_close_wrong_open_period_rejected(self):
+        detector = SlidingWindowDetector(window=3, threshold=2)
+        detector.ingest(_report(1, 2))
+        with pytest.raises(SimulationError):
+            detector.close_period(3)
+
+    def test_observe_rejects_misstamped_reports(self):
+        detector = SlidingWindowDetector(window=3, threshold=2)
+        with pytest.raises(SimulationError):
+            detector.observe(1, [_report(1, 2)])
+
+
+class TestOfflineEquivalence:
+    def test_matches_group_detector_on_a_dense_stream(self):
+        online = SlidingWindowDetector(window=4, threshold=3, min_nodes=2)
+        offline = GroupDetector(window=4, threshold=3, min_nodes=2)
+        stream = [
+            (1, [_report(1, 1)]),
+            (2, [_report(1, 2), _report(2, 2)]),
+            (3, []),
+            (4, [_report(3, 4)]),
+            (6, [_report(1, 6), _report(1, 6)]),
+            (7, [_report(4, 7)]),
+            (9, []),
+        ]
+        for period, reports in stream:
+            event = online.observe(period, reports)
+            assert event.fired == offline.observe(period, reports)
+        assert online.detection_periods == offline.detection_periods
+
+    def test_matches_group_detector_with_track_filter(self):
+        gate = SpeedGateTrackFilter(
+            max_speed=1.0, sensing_range=0.0, period_length=1.0
+        )
+        online = SlidingWindowDetector(3, 2, track_filter=gate)
+        offline = GroupDetector(3, 2, track_filter=gate)
+        stream = [
+            (1, [_report(1, 1, 0.0, 0.0)]),
+            (2, [_report(2, 2, 100.0, 100.0)]),  # infeasibly far
+            (3, [_report(3, 3, 0.5, 0.5)]),
+        ]
+        for period, reports in stream:
+            event = online.observe(period, reports)
+            assert event.fired == offline.observe(period, reports)
+        assert online.detection_periods == offline.detection_periods
+
+
+class TestEventsAndDigests:
+    def test_one_event_per_closed_period_in_order(self):
+        detector = SlidingWindowDetector(window=3, threshold=1)
+        for period in (1, 2, 4, 7):
+            detector.observe(period, [])
+        assert [e.period for e in detector.events] == [1, 2, 4, 7]
+        assert detector.last_period == 7
+
+    def test_event_to_dict_field_order_is_canonical(self):
+        event = DetectionEvent(1, False, False, 0, 0, 0)
+        assert list(event.to_dict()) == [
+            "period",
+            "fired",
+            "new_detection",
+            "windowed_reports",
+            "distinct_nodes",
+            "new_reports",
+        ]
+
+    def test_digest_depends_on_decisions(self):
+        a = SlidingWindowDetector(window=3, threshold=1)
+        b = SlidingWindowDetector(window=3, threshold=1)
+        a.observe(1, [_report(1, 1)])
+        b.observe(1, [])
+        assert a.digest() != b.digest()
+        assert event_digest([]) == event_digest([])
+
+    def test_reset_forgets_everything(self):
+        detector = SlidingWindowDetector(window=3, threshold=1)
+        detector.observe(1, [_report(1, 1)])
+        detector.reset()
+        assert detector.windowed_count == 0
+        assert detector.events == []
+        assert detector.last_period == 0
+        # A fresh period 1 is acceptable again after reset.
+        assert detector.observe(1, [_report(1, 1)]).fired
