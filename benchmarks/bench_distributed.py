@@ -1,0 +1,103 @@
+"""PERF-DIST — work-stealing distributed sweep scaling (and its proof).
+
+Runs the same Monte Carlo per-point grid three ways — serial
+(``fused=False``), then on a local work-stealing fleet at 1, 2, and 4
+workers — and records wall-clock seconds and speedup per worker count.
+Every distributed run is checked **byte-identical** to the serial rows
+before its timing is recorded: a scaling number for a merge that
+diverges from the serial path would be meaningless.
+
+The committed ``benchmarks/results/perf-dist.json`` record carries
+``cpu_count`` in its parameters; ``bench_regression.py`` gates the
+4-worker speedup (>= 2x) only when the record was produced on a host
+with at least 4 cores, so a laptop- or container-recorded baseline
+doesn't assert parallelism the hardware never had.
+
+Environment knobs (see ``benchmarks/conftest.py`` for shared ones):
+
+* ``REPRO_BENCH_TRIALS`` — Monte Carlo trials per grid point
+  (default 2000).
+* ``REPRO_BENCH_SEED`` — root simulation seed (default 20080617).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import bench_seed, bench_trials
+from repro.experiments.presets import small_scenario
+from repro.experiments.records import ExperimentRecord
+from repro.experiments.sweeps import (
+    distributed_grid_sweep,
+    simulated_grid_sweep,
+)
+
+GRIDS = {"num_sensors": [10, 15, 20, 25, 30, 35], "threshold": [2, 3]}
+WORKER_COUNTS = (1, 2, 4)
+
+#: Required 4-worker speedup when recorded on a >= 4-core host.
+SCALING_FLOOR = 2.0
+
+
+def test_distributed_sweep_scaling(emit_record):
+    scenario = small_scenario()
+    trials = bench_trials()
+    seed = bench_seed()
+
+    start = time.perf_counter()
+    serial_rows = simulated_grid_sweep(
+        scenario, GRIDS, trials=trials, seed=seed, fused=False
+    )
+    serial_seconds = time.perf_counter() - start
+    serial_bytes = json.dumps(serial_rows)
+
+    record = ExperimentRecord(
+        experiment_id="PERF-DIST",
+        title="Distributed work-stealing sweep scaling (Monte Carlo grid)",
+        parameters={
+            "scenario": scenario.to_dict(),
+            "grids": GRIDS,
+            "points": len(serial_rows),
+            "trials": trials,
+            "seed": seed,
+            "serial_seconds": serial_seconds,
+            "cpu_count": os.cpu_count(),
+            "scaling_floor": SCALING_FLOOR,
+        },
+    )
+
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        rows = distributed_grid_sweep(
+            scenario,
+            GRIDS,
+            kind="simulated",
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            timeout=600,
+        )
+        seconds = time.perf_counter() - start
+        merge_identical = json.dumps(rows) == serial_bytes
+        assert merge_identical, (
+            f"distributed merge at workers={workers} diverged from the "
+            "serial rows — scaling numbers void"
+        )
+        record.add_row(
+            workers=workers,
+            seconds=seconds,
+            speedup=serial_seconds / seconds,
+            merge_identical=merge_identical,
+        )
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        four = next(r for r in record.rows if r["workers"] == 4)
+        assert four["speedup"] >= SCALING_FLOOR, (
+            f"4-worker speedup {four['speedup']:.2f}x is below the "
+            f"{SCALING_FLOOR}x floor on a {cores}-core host"
+        )
+
+    emit_record(record)

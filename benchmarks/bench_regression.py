@@ -332,3 +332,57 @@ def test_stream_pipeline_ledger_vs_recorded_baseline():
     assert abs(
         row["reports_per_sec"] * row["seconds"] - total
     ) <= 1e-6 * total, "committed throughput does not match its own timing"
+
+
+def test_distributed_scaling_vs_recorded_baseline():
+    """Gate the committed PERF-DIST record, plus a live merge smoke.
+
+    The committed record must show every distributed run merging
+    byte-identically to the serial rows, and — when it was produced on
+    a host with at least 4 cores — a 4-worker speedup at or above its
+    own recorded scaling floor.  A 1-core container can record the
+    artifact (CI's distributed-smoke job re-times it per merge); it
+    just cannot assert parallelism the hardware never had, so the
+    speedup gate is cpu-count guarded.
+
+    The live half re-proves the merge contract at smoke scale: a tiny
+    analytical grid through the real fleet (2 worker processes) must
+    reproduce the serial bytes on this machine, right now.
+    """
+    baseline = _load_baseline("perf-dist.json")
+    recorded_workers = sorted(row["workers"] for row in baseline.rows)
+    assert recorded_workers == [1, 2, 4], (
+        f"perf-dist.json must record workers 1/2/4, got {recorded_workers}"
+    )
+    for row in baseline.rows:
+        assert row["merge_identical"] is True, (
+            f"committed distributed record's workers={row['workers']} run "
+            "did not merge byte-identically to the serial sweep"
+        )
+        assert row["seconds"] > 0.0 and row["speedup"] > 0.0, row
+    recorded_cores = baseline.parameters.get("cpu_count") or 1
+    floor = baseline.parameters.get("scaling_floor", 2.0)
+    if recorded_cores >= 4:
+        four = next(row for row in baseline.rows if row["workers"] == 4)
+        assert four["speedup"] >= floor, (
+            f"committed 4-worker speedup {four['speedup']:.2f}x is below "
+            f"the {floor}x floor recorded on a {recorded_cores}-core host"
+        )
+
+    import json
+
+    from repro.experiments.presets import small_scenario
+    from repro.experiments.sweeps import (
+        analytical_grid_sweep,
+        distributed_grid_sweep,
+    )
+
+    scenario = small_scenario()
+    grids = {"num_sensors": [10, 20], "threshold": [2, 3]}
+    serial = analytical_grid_sweep(scenario, grids)
+    distributed = distributed_grid_sweep(
+        scenario, grids, workers=2, timeout=120
+    )
+    assert json.dumps(distributed) == json.dumps(serial), (
+        "live smoke: distributed merge diverged from the serial sweep"
+    )

@@ -20,6 +20,12 @@ Typical use (see ``docs/robustness.md`` for a runnable walkthrough)::
 Driven at scale by ``tests/integration/test_chaos_acceptance.py`` and
 ``benchmarks/bench_chaos.py`` (the availability benchmark and CI
 chaos-smoke artifact).
+
+The distributed-sweep analogue lives in :mod:`repro.chaos.distributed`:
+progress-triggered ``kill_worker`` / ``kill_coordinator`` scripts
+replayed against a :class:`repro.distributed.orchestrator.LocalFleet`,
+with the byte-identical-merge contract as the pass criterion
+(``tests/integration/test_distributed_acceptance.py``).
 """
 
 from repro.chaos.actions import (
@@ -31,6 +37,14 @@ from repro.chaos.actions import (
     kill,
     slow,
 )
+from repro.chaos.distributed import (
+    SWEEP_KINDS,
+    SweepChaosAction,
+    SweepChaosHarness,
+    SweepChaosScript,
+    kill_coordinator,
+    kill_worker,
+)
 from repro.chaos.harness import ChaosHarness, ChaosReport
 
 __all__ = [
@@ -39,8 +53,14 @@ __all__ = [
     "ChaosReport",
     "ChaosScript",
     "KINDS",
+    "SWEEP_KINDS",
+    "SweepChaosAction",
+    "SweepChaosHarness",
+    "SweepChaosScript",
     "flap",
     "hang",
     "kill",
+    "kill_coordinator",
+    "kill_worker",
     "slow",
 ]

@@ -1,0 +1,209 @@
+"""Scripted fault injection for distributed sweeps.
+
+The sweep analogue of :mod:`repro.chaos.actions`: a
+:class:`SweepChaosScript` describes *what dies when* during a
+distributed sweep, but time is measured in **merged results**, not
+seconds — "kill worker 1 after 4 rows" is deterministic on any host,
+where "kill at 0.8s" lands on a different point every run.
+
+Action kinds:
+
+====================  ================================================
+``kill_worker``       ``SIGKILL`` one worker process mid-lease.  The
+                      coordinator must detect the silent disconnect,
+                      return the lease to the pool, and finish the
+                      sweep with the survivors — same byte output.
+``kill_coordinator``  abort the coordinator (abrupt socket closes, no
+                      farewell, checkpoint left partial) and put the
+                      workers down — a host loss.  A fresh fleet
+                      pointed at the same checkpoint must resume and
+                      finish with the exact serial bytes.
+====================  ================================================
+
+A ``kill_worker`` script expects the *same* fleet to complete
+(``expect_completion`` is true); any ``kill_coordinator`` action makes
+the run expected-fatal and the follow-up resume run carries the proof.
+The harness keeps its books in a ``MetricsTable("chaos")``
+(``chaos.sweep_kills``, ``chaos.coordinator_kills``, ``chaos.injected``)
+so a traced run's manifest shows the injected faults next to the
+``dist.*`` counters they caused.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.metrics import MetricsTable
+
+__all__ = [
+    "SWEEP_KINDS",
+    "SweepChaosAction",
+    "SweepChaosHarness",
+    "SweepChaosScript",
+    "kill_coordinator",
+    "kill_worker",
+]
+
+SWEEP_KINDS = ("kill_worker", "kill_coordinator")
+
+
+@dataclass(frozen=True)
+class SweepChaosAction:
+    """One scripted sweep fault.
+
+    Attributes:
+        after_results: fire once this many rows have merged (progress-
+            triggered, hence deterministic up to steal schedule).
+        kind: one of :data:`SWEEP_KINDS`.
+        worker: target worker index for ``kill_worker``; ``None`` means
+            worker 0.
+    """
+
+    after_results: int
+    kind: str
+    worker: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in SWEEP_KINDS:
+            raise ValueError(
+                f"kind must be one of {SWEEP_KINDS}, got {self.kind!r}"
+            )
+        if self.after_results < 1:
+            raise ValueError(
+                f"after_results must be >= 1, got {self.after_results}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "after_results": self.after_results,
+            "kind": self.kind,
+            "worker": self.worker,
+        }
+
+
+@dataclass(frozen=True)
+class SweepChaosScript:
+    """An ordered, progress-triggered sweep fault schedule."""
+
+    actions: Tuple[SweepChaosAction, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "actions",
+            tuple(sorted(self.actions, key=lambda a: a.after_results)),
+        )
+
+    @property
+    def expect_completion(self) -> bool:
+        """Whether the scripted fleet itself should finish the sweep.
+
+        True for pure worker kills (work-stealing must absorb them);
+        false once a ``kill_coordinator`` is scripted — completion then
+        belongs to the follow-up resume run.
+        """
+        return all(
+            action.kind != "kill_coordinator" for action in self.actions
+        )
+
+    def worker_kills(self) -> int:
+        """``kill_worker`` actions in the script."""
+        return sum(1 for a in self.actions if a.kind == "kill_worker")
+
+    def coordinator_kills(self) -> int:
+        """``kill_coordinator`` actions in the script."""
+        return sum(1 for a in self.actions if a.kind == "kill_coordinator")
+
+    def to_dict(self) -> Dict:
+        return {
+            "expect_completion": self.expect_completion,
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+
+def kill_worker(after_results: int, worker: int = 0) -> SweepChaosAction:
+    """A ``kill_worker`` action firing after ``after_results`` rows."""
+    return SweepChaosAction(
+        after_results=after_results, kind="kill_worker", worker=worker
+    )
+
+
+def kill_coordinator(after_results: int) -> SweepChaosAction:
+    """A ``kill_coordinator`` action firing after ``after_results`` rows."""
+    return SweepChaosAction(
+        after_results=after_results, kind="kill_coordinator"
+    )
+
+
+class SweepChaosHarness:
+    """Execute a :class:`SweepChaosScript` against a ``LocalFleet``.
+
+    Install with :meth:`attach` *before* ``fleet.start()``; the harness
+    hooks the coordinator's progress callback and fires each action the
+    first time the merged-row count reaches its threshold.  Kills run on
+    a separate thread so the coordinator's merge path never blocks on
+    process reaping.
+
+    Args:
+        fleet: the :class:`repro.distributed.orchestrator.LocalFleet`
+            to torment.
+        script: what dies when.
+    """
+
+    def __init__(self, fleet, script: SweepChaosScript) -> None:
+        self.fleet = fleet
+        self.script = script
+        self.metrics = MetricsTable("chaos")
+        self._pending: List[SweepChaosAction] = list(script.actions)
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._previous = None
+
+    def attach(self) -> "SweepChaosHarness":
+        """Hook the fleet's progress callback (chainable)."""
+        coordinator = self.fleet.coordinator
+        self._previous = coordinator._on_progress
+        coordinator._on_progress = self._on_progress
+        return self
+
+    def injected(self) -> List[SweepChaosAction]:
+        """Actions fired so far."""
+        with self._lock:
+            return [a for a in self.script.actions if a not in self._pending]
+
+    def join(self, timeout: float = 30.0) -> None:
+        """Wait for in-flight kill threads (call before asserting books)."""
+        for thread in self._threads:
+            thread.join(timeout)
+
+    # -- internals -----------------------------------------------------
+
+    def _on_progress(self, completed: int, total: int) -> None:
+        if self._previous is not None:
+            self._previous(completed, total)
+        fired: List[SweepChaosAction] = []
+        with self._lock:
+            while self._pending and completed >= self._pending[0].after_results:
+                fired.append(self._pending.pop(0))
+        for action in fired:
+            self.metrics.incr("injected")
+            self.metrics.event(
+                "inject", kind=action.kind, after_results=completed
+            )
+            # Reaping a SIGKILLed process joins it; do that off the
+            # coordinator's merge thread.
+            thread = threading.Thread(
+                target=self._execute, args=(action,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _execute(self, action: SweepChaosAction) -> None:
+        if action.kind == "kill_worker":
+            self.metrics.incr("sweep_kills")
+            self.fleet.kill_worker(action.worker or 0)
+        else:
+            self.metrics.incr("coordinator_kills")
+            self.fleet.abort()

@@ -1,0 +1,423 @@
+"""The sweep coordinator: canonical point list, leases, merged rows.
+
+One :class:`SweepCoordinator` owns one sweep: the ordered point list,
+its checkpoint fingerprint, the :class:`~repro.distributed.leases.LeaseBook`
+that shards it, and the completed-row map.  Workers connect over TCP,
+handshake (``hello``/``welcome``), and then drive the book through the
+:mod:`repro.distributed.protocol` grammar; every book transition happens
+under one lock, and the directives it returns are pushed to the affected
+connections before the lock is released, so a parked thief receives its
+stolen lease without polling.
+
+Durability is delegated entirely to the existing sweep checkpoint
+format: each arriving row is written through
+:func:`repro.experiments.sweeps._write_checkpoint` (atomic temp-file +
+``os.replace``, indexes in sorted order, rows canonical), so the file on
+disk after a crash is exactly what a serial ``grid_sweep`` would have
+left behind — any coordinator, serial or distributed, can resume it.
+
+A connection that drops without a ``bye`` is a **worker crash**: its
+lease returns to the pool (``dist.worker_crashes``), and parked workers
+are re-served immediately.  :meth:`abort` simulates a *coordinator*
+crash for chaos tests: every socket closes abruptly, no farewell
+frames, the checkpoint stays partial.
+
+Counters (``MetricsTable("dist")``, mirrored into the obs manifest):
+``dist.shards`` leases granted (initial splits and steals alike),
+``dist.steals`` of which were stolen from a peer's tail,
+``dist.worker_crashes`` connections lost without a ``bye``, and
+``dist.resumes`` points served from the checkpoint at startup.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, SimulationError
+from repro.experiments.sweeps import (
+    _load_checkpoint,
+    _points_fingerprint,
+    _write_checkpoint,
+    canonical_row,
+)
+from repro.service.metrics import MetricsTable
+from repro.distributed import protocol
+from repro.distributed.leases import Directive, LeaseBook
+
+__all__ = ["SweepCoordinator"]
+
+
+class _Connection:
+    """One worker's socket plus its send lock."""
+
+    def __init__(self, sock: socket.socket, worker: str) -> None:
+        self.sock = sock
+        self.worker = worker
+        self.said_bye = False
+        self._send_lock = threading.Lock()
+
+    def send(self, frame: Dict[str, Any]) -> None:
+        with self._send_lock:
+            self.sock.sendall(protocol.encode_frame(frame))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class SweepCoordinator:
+    """Serve one sweep's points to a fleet of work-stealing workers.
+
+    Args:
+        points: the sweep's point list, in sweep order; must be plain
+            JSON values (they cross the wire verbatim).
+        spec: the compute spec workers resolve into a point function
+            (see :func:`repro.distributed.worker.resolve_spec`).
+        checkpoint: optional checkpoint path — loaded on :meth:`start`
+            (already-completed points are never re-leased) and written
+            after every arriving row.
+        host / port: bind address; ``port=0`` picks a free port
+            (read it back from :attr:`address`).
+        on_progress: optional ``callback(completed, total)`` invoked
+            after every arriving row — the chaos harness's trigger
+            point.
+    """
+
+    def __init__(
+        self,
+        points: List[Dict[str, Any]],
+        spec: Dict[str, Any],
+        checkpoint: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_progress: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self._points = list(points)
+        self._spec = dict(spec)
+        self._fingerprint = _points_fingerprint(self._points)
+        self._checkpoint = checkpoint
+        self._bind = (host, port)
+        self._on_progress = on_progress
+        self.metrics = MetricsTable("dist")
+        self._lock = threading.RLock()
+        self._rows: Dict[int, Any] = {}
+        self._book: Optional[LeaseBook] = None
+        self._stats_seen = {"shards": 0, "steals": 0}
+        self._connections: Dict[str, _Connection] = {}
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._done = threading.Event()
+        self._closing = False
+        self._aborted = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise SimulationError("coordinator is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def fingerprint(self) -> str:
+        """The sweep's checkpoint fingerprint."""
+        return self._fingerprint
+
+    @property
+    def done(self) -> bool:
+        """Every point merged (or the coordinator was aborted)."""
+        return self._done.is_set()
+
+    @property
+    def completed_count(self) -> int:
+        """Rows merged so far (checkpoint-loaded rows included)."""
+        with self._lock:
+            return len(self._rows)
+
+    def start(self) -> "SweepCoordinator":
+        """Load the checkpoint, bind the socket, start accepting."""
+        if self._listener is not None:
+            raise SimulationError("coordinator is already started")
+        if self._checkpoint is not None:
+            loaded = _load_checkpoint(self._checkpoint, self._fingerprint)
+            self._rows = {
+                index: canonical_row(row) for index, row in loaded.items()
+            }
+            if self._rows:
+                self.metrics.incr("resumes", len(self._rows))
+                self.metrics.event(
+                    "resume",
+                    checkpoint=self._checkpoint,
+                    points=sorted(self._rows),
+                )
+        self._book = LeaseBook(len(self._points), completed=self._rows)
+        if self._book.done:
+            self._done.set()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._bind)
+        listener.listen(32)
+        self._listener = listener
+        accept = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Block until every point is merged; return rows in sweep order.
+
+        Raises:
+            SimulationError: on timeout or after :meth:`abort`.
+        """
+        if not self._done.wait(timeout):
+            raise SimulationError(
+                f"sweep did not complete within {timeout}s "
+                f"({self.completed_count}/{len(self._points)} points)"
+            )
+        if self._aborted:
+            raise SimulationError("coordinator was aborted mid-sweep")
+        with self._lock:
+            return [self._rows[index] for index in range(len(self._points))]
+
+    def close(self) -> None:
+        """Graceful shutdown: stop accepting, close worker sockets."""
+        self._closing = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections.values())
+        for connection in connections:
+            connection.close()
+
+    def abort(self) -> None:
+        """Simulate a coordinator crash: drop everything, mid-word.
+
+        Sockets close abruptly (workers see EOF, not ``done``), no
+        final checkpoint write happens beyond the per-row ones already
+        on disk, and :meth:`wait` raises.  The checkpoint file is left
+        exactly as a ``kill -9`` of the coordinator process would leave
+        it — the resume path's test fixture.
+        """
+        self._aborted = True
+        self.metrics.event("abort", completed=self.completed_count)
+        self.close()
+        self._done.set()
+
+    # -- socket plumbing -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(sock,),
+                name="dist-conn",
+                daemon=True,
+            )
+            handler.start()
+            self._threads.append(handler)
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        decoder = protocol.FrameDecoder(protocol.MAX_SWEEP_FRAME_BYTES)
+        pending: List[Dict[str, Any]] = []
+        connection: Optional[_Connection] = None
+        try:
+            frame = self._read_frame(sock, decoder, pending)
+            if frame is None:
+                return
+            worker = protocol.validate_hello(frame)
+            connection = self._admit(sock, worker)
+            if connection is None:
+                return
+            while True:
+                frame = self._read_frame(sock, decoder, pending)
+                if frame is None:
+                    break
+                self._handle_frame(connection, frame)
+                if connection.said_bye:
+                    break
+        except ProtocolError as exc:
+            try:
+                sock.sendall(
+                    protocol.encode_frame(
+                        protocol.error_frame(str(exc), code=exc.code)
+                    )
+                )
+            except OSError:
+                pass
+        except OSError:
+            pass  # connection dropped; the crash path below reclaims
+        finally:
+            self._depart(connection)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _read_frame(
+        sock: socket.socket,
+        decoder: protocol.FrameDecoder,
+        pending: List[Dict[str, Any]],
+    ) -> Optional[Dict[str, Any]]:
+        """Next frame from ``sock``; ``None`` on EOF.
+
+        ``pending`` buffers frames that arrived in the same chunk as an
+        earlier one (the decoder has no pushback).
+        """
+        while not pending:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return None
+            pending.extend(decoder.feed(chunk))
+        return pending.pop(0)
+
+    # -- session grammar -----------------------------------------------
+
+    def _admit(
+        self, sock: socket.socket, worker: str
+    ) -> Optional[_Connection]:
+        with self._lock:
+            assert self._book is not None
+            if worker in self._connections:
+                sock.sendall(
+                    protocol.encode_frame(
+                        protocol.error_frame(
+                            f"worker name {worker!r} is already connected",
+                            code="duplicate",
+                        )
+                    )
+                )
+                return None
+            connection = _Connection(sock, worker)
+            self._connections[worker] = connection
+            self._book.register(worker)
+            self.metrics.event("worker_joined", worker=worker)
+        connection.send(
+            protocol.welcome_frame(self._fingerprint, self._points, self._spec)
+        )
+        return connection
+
+    def _handle_frame(
+        self, connection: _Connection, frame: Dict[str, Any]
+    ) -> None:
+        frame_type = frame.get("type")
+        worker = connection.worker
+        if frame_type == "request":
+            with self._lock:
+                assert self._book is not None
+                directives = self._book.request(worker)
+                self._sync_stats()
+                if not any(d[1] == worker for d in directives):
+                    connection.send(protocol.wait_frame())
+                self._dispatch(directives)
+        elif frame_type == "result":
+            index, row = frame.get("index"), frame.get("row")
+            if not isinstance(index, int) or not isinstance(row, dict):
+                raise ProtocolError(
+                    f"malformed result frame (index={index!r})", code="result"
+                )
+            self._merge(worker, index, row)
+        elif frame_type == "revoked":
+            at = frame.get("at")
+            if not isinstance(at, int):
+                raise ProtocolError(
+                    f"'revoked' must carry an integer 'at', got {at!r}",
+                    code="revoked",
+                )
+            with self._lock:
+                assert self._book is not None
+                directives = self._book.ack_revoke(worker, at)
+                self._sync_stats()
+                self._dispatch(directives)
+        elif frame_type == "bye":
+            connection.said_bye = True
+        else:
+            raise ProtocolError(
+                f"unknown frame type {frame_type!r}", code="type"
+            )
+
+    def _merge(self, worker: str, index: int, row: Dict[str, Any]) -> None:
+        """One arriving row: book, merge map, checkpoint, progress."""
+        with self._lock:
+            assert self._book is not None
+            directives = self._book.result(worker, index)
+            self._rows[index] = canonical_row(row)
+            if self._checkpoint is not None:
+                _write_checkpoint(
+                    self._checkpoint, self._fingerprint, self._rows
+                )
+            self.metrics.incr("results")
+            self._sync_stats()
+            self._dispatch(directives)
+            completed = len(self._rows)
+            if self._book.done:
+                self._done.set()
+        if self._on_progress is not None:
+            self._on_progress(completed, len(self._points))
+
+    def _dispatch(self, directives: List[Directive]) -> None:
+        """Push the book's directives to the affected connections."""
+        for directive in directives:
+            kind, worker = directive[0], directive[1]
+            connection = self._connections.get(worker)
+            if connection is None:
+                continue
+            try:
+                if kind == "grant":
+                    connection.send(
+                        protocol.lease_frame(directive[2], directive[3])
+                    )
+                elif kind == "revoke":
+                    connection.send(protocol.revoke_frame(directive[2]))
+                elif kind == "done":
+                    connection.send(protocol.done_frame())
+            except OSError:
+                # The peer died between its last frame and this push;
+                # its own handler thread will run the crash path when
+                # the read side sees EOF.
+                pass
+
+    def _depart(self, connection: Optional[_Connection]) -> None:
+        """Connection teardown: clean ``bye`` or crash reclamation."""
+        if connection is None:
+            return
+        with self._lock:
+            assert self._book is not None
+            self._connections.pop(connection.worker, None)
+            if connection.worker not in self._book.workers():
+                return
+            crashed = (
+                not connection.said_bye
+                and not self._aborted
+                and not self._closing
+            )
+            directives = self._book.crash(connection.worker)
+            self._sync_stats()
+            if crashed:
+                self.metrics.incr("worker_crashes")
+                self.metrics.event("worker_crash", worker=connection.worker)
+            self._dispatch(directives)
+
+    def _sync_stats(self) -> None:
+        """Mirror the book's grant/steal counts into the metrics table."""
+        assert self._book is not None
+        for name in ("shards", "steals"):
+            delta = self._book.stats[name] - self._stats_seen[name]
+            if delta:
+                self.metrics.incr(name, delta)
+                self._stats_seen[name] = self._book.stats[name]

@@ -233,7 +233,143 @@ _HELP: Dict[str, str] = {
     "serve": "run the JSON analysis service (see docs/service.md)",
     "stream": "simulate / record / replay / publish report streams "
     "(see docs/streaming.md)",
+    "sweep": "grid sweeps over scenario fields — serial, checkpointed, "
+    "or on a work-stealing worker fleet (see docs/distributed.md)",
 }
+
+
+def _parse_grid_axes(specs: List[str]) -> Dict[str, List[Any]]:
+    """Parse repeated ``--grid FIELD=v1,v2,...`` / ``FIELD=lo:hi:step``.
+
+    Range bounds are inclusive (``20:40:10`` is 20, 30, 40), values
+    parse as int when possible, float otherwise.
+
+    Raises:
+        ValueError: on a malformed axis spec.
+    """
+
+    def number(text: str) -> Any:
+        try:
+            return int(text)
+        except ValueError:
+            return float(text)
+
+    grids: Dict[str, List[Any]] = {}
+    for spec in specs:
+        name, separator, body = spec.partition("=")
+        if not separator or not name or not body:
+            raise ValueError(
+                f"--grid expects FIELD=v1,v2,... or FIELD=lo:hi:step, "
+                f"got {spec!r}"
+            )
+        if ":" in body:
+            parts = body.split(":")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"--grid range for {name!r} must be lo:hi:step, "
+                    f"got {body!r}"
+                )
+            low, high, step = (number(part) for part in parts)
+            if step <= 0 or high < low:
+                raise ValueError(
+                    f"--grid range for {name!r} needs step > 0 and "
+                    f"hi >= lo, got {body!r}"
+                )
+            values: List[Any] = []
+            value = low
+            while value <= high + (1e-9 if isinstance(step, float) else 0):
+                values.append(value)
+                value = value + step
+        else:
+            values = [number(part) for part in body.split(",") if part]
+        if not values:
+            raise ValueError(f"--grid axis {name!r} has no values")
+        grids[name] = values
+    return grids
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """The ``repro sweep`` subcommand: serial, distributed, or worker."""
+    from repro.experiments import presets
+    from repro.experiments import sweeps
+
+    if args.connect:
+        from repro.distributed import run_worker
+
+        host, _, port = args.connect.rpartition(":")
+        computed = run_worker(host or "127.0.0.1", int(port))
+        print(f"worker finished: computed {computed} points")
+        return 0
+    try:
+        grids = _parse_grid_axes(args.grid)
+    except ValueError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+    if not grids:
+        print(
+            "repro sweep: at least one --grid FIELD=... axis is required",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = (
+        presets.small_scenario()
+        if args.preset == "small"
+        else presets.onr_scenario()
+    )
+    if args.distributed:
+        host, _, port = (args.coordinator or "127.0.0.1:0").rpartition(":")
+        rows = sweeps.distributed_grid_sweep(
+            scenario,
+            grids,
+            kind=args.kind,
+            workers=max(1, args.workers),
+            checkpoint=args.checkpoint,
+            host=host or "127.0.0.1",
+            port=int(port),
+            trials=args.trials,
+            seed=args.seed,
+        )
+        path = "distributed"
+    elif args.kind == "analytical":
+        rows = sweeps.analytical_grid_sweep(
+            scenario,
+            grids,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+        )
+        path = "serial"
+    else:
+        rows = sweeps.simulated_grid_sweep(
+            scenario,
+            grids,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            checkpoint=args.checkpoint,
+            fused=False,
+        )
+        path = "serial"
+    record = ExperimentRecord(
+        experiment_id="SWEEP",
+        title=f"{args.kind} grid sweep ({path}) over "
+        + ", ".join(grids),
+        parameters={
+            "kind": args.kind,
+            "preset": args.preset,
+            "path": path,
+            "workers": args.workers,
+            "grids": {name: list(values) for name, values in grids.items()},
+            **(
+                {"trials": args.trials, "seed": args.seed}
+                if args.kind == "simulated"
+                else {}
+            ),
+        },
+    )
+    for row in rows:
+        record.add_row(**row)
+    _emit(record, args.json, plot=args.plot)
+    return 0
 
 
 def _shared_options(suppress_defaults: bool = False) -> argparse.ArgumentParser:
@@ -334,8 +470,64 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="experiment",
         help="which experiment to run",
     )
-    for name in sorted(_EXPERIMENTS) + ["all", "validate", "serve", "stream"]:
+    for name in sorted(_EXPERIMENTS) + [
+        "all",
+        "validate",
+        "serve",
+        "stream",
+        "sweep",
+    ]:
         sub = subparsers.add_parser(name, parents=[parent], help=_HELP.get(name))
+        if name == "sweep":
+            sub.add_argument(
+                "--kind",
+                choices=("analytical", "simulated"),
+                default="analytical",
+                help="what each grid point computes (default: analytical)",
+            )
+            sub.add_argument(
+                "--preset",
+                choices=("onr", "small"),
+                default="onr",
+                help="template scenario the grid perturbs (default: onr)",
+            )
+            sub.add_argument(
+                "--grid",
+                action="append",
+                default=[],
+                metavar="FIELD=SPEC",
+                help="one sweep axis: FIELD=v1,v2,... or FIELD=lo:hi:step "
+                "(inclusive); repeatable, row-major order",
+            )
+            sub.add_argument(
+                "--checkpoint",
+                default=None,
+                metavar="FILE",
+                help="checkpoint path — completed points persist here and "
+                "a rerun resumes them (all paths share the format)",
+            )
+            sub.add_argument(
+                "--distributed",
+                action="store_true",
+                default=False,
+                help="compute on a local work-stealing worker fleet "
+                "(--workers processes) instead of in-process",
+            )
+            sub.add_argument(
+                "--coordinator",
+                default=None,
+                metavar="HOST:PORT",
+                help="with --distributed: coordinator bind address "
+                "(default 127.0.0.1:0 — a free port; remote workers can "
+                "join it with --connect)",
+            )
+            sub.add_argument(
+                "--connect",
+                default=None,
+                metavar="HOST:PORT",
+                help="run as a pure worker: join the coordinator at this "
+                "address, compute leases until done, then exit",
+            )
         if name == "stream":
             from repro.streaming.cli import add_stream_arguments
 
@@ -496,6 +688,9 @@ def _dispatch(args: argparse.Namespace, instrumentation) -> int:
 
         with instrumentation.span("experiment:stream"):
             return run_stream(args)
+    if args.experiment == "sweep":
+        with instrumentation.span("experiment:sweep"):
+            return _run_sweep(args)
     if args.experiment == "validate":
         from repro.experiments.validation import run_validation
 

@@ -21,10 +21,13 @@ checkpoint from a *different* sweep raises
 :class:`~repro.errors.SimulationError` instead of silently mixing rows.
 Checkpoint rows round-trip through JSON, so ``compute`` must return
 JSON-serialisable rows (plain dicts of numbers/strings — which all the
-experiment computes do) for resume to be lossless.  Numpy scalars and
-arrays, which simulator-derived rows naturally contain, are coerced to
-plain Python numbers/lists on write — equal in value, though a resumed
-row holds ``float`` where the fresh row held ``np.float64``.
+experiment computes do) for resume to be lossless.  Every row is passed
+through :func:`canonical_row` on the write path — numpy scalars and
+arrays become plain Python numbers/lists and keys come back sorted — so
+a fresh row, a checkpoint-resumed row, and a row that crossed the
+distributed wire are **byte-identical**, not merely equal in value.
+Floats survive canonicalisation exactly (JSON round-trips them through
+``repr``).
 
 Batched analytical sweeps
 -------------------------
@@ -77,6 +80,8 @@ from repro.parallel import parallel_map
 __all__ = [
     "BATCHED_FIELDS",
     "analytical_grid_sweep",
+    "canonical_row",
+    "distributed_grid_sweep",
     "simulated_grid_sweep",
     "sweep",
     "grid_sweep",
@@ -101,6 +106,22 @@ def _json_default(value: Any) -> Any:
         "checkpoint rows must be JSON-serialisable (plain dicts of "
         f"numbers/strings), got {type(value).__name__}: {value!r}"
     )
+
+
+def canonical_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical form of a sweep row: what a checkpoint holds.
+
+    One JSON round-trip with sorted keys — numpy scalars and arrays
+    collapse to plain Python numbers/lists, key order becomes sorted.
+    Applying it on the write path (rather than only on resume) is what
+    makes fresh, resumed, and wire-transported rows byte-identical:
+    every execution path converges on this one representation.  Floats
+    are exact across the round-trip (JSON serialises via ``repr``).
+
+    Raises:
+        TypeError: for a row JSON cannot represent.
+    """
+    return json.loads(json.dumps(row, sort_keys=True, default=_json_default))
 
 
 def _points_fingerprint(points: Sequence[Any]) -> str:
@@ -137,11 +158,17 @@ def _load_checkpoint(path: str, fingerprint: str) -> Dict[int, Any]:
 def _write_checkpoint(
     path: str, fingerprint: str, completed: Dict[int, Any]
 ) -> None:
-    """Atomically persist the completed-row map."""
+    """Atomically persist the completed-row map.
+
+    Indexes are written in sorted order so the file's bytes depend only
+    on *which* points completed, not on the order they completed in —
+    a distributed sweep finishing points out of order and the serial
+    path produce identical checkpoint files.
+    """
     state = {
         "version": _CHECKPOINT_VERSION,
         "fingerprint": fingerprint,
-        "completed": {str(index): row for index, row in completed.items()},
+        "completed": {str(index): completed[index] for index in sorted(completed)},
     }
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp_path = tempfile.mkstemp(
@@ -167,8 +194,13 @@ def _run_points(
     checkpoint: Optional[str],
     timeout: Optional[float],
     max_retries: int,
+    canonical: bool = False,
 ) -> List[Dict[str, Any]]:
     """Shared sweep engine: resume from checkpoint, compute the rest.
+
+    ``canonical=True`` (or any checkpointed run) passes every row
+    through :func:`canonical_row` so all execution paths — fresh,
+    resumed, batched, distributed — return byte-identical row lists.
 
     Observability: with instrumentation active the engine counts every
     point (``sweep.points``), marks the ones served from a checkpoint
@@ -181,12 +213,16 @@ def _run_points(
     ob = obs.current()
     if ob.enabled:
         ob.incr("sweep.points", len(points))
+    canonicalise = canonical or checkpoint is not None
     if checkpoint is None:
         fingerprint = None
         completed: Dict[int, Any] = {}
     else:
         fingerprint = _points_fingerprint(points)
-        completed = _load_checkpoint(checkpoint, fingerprint)
+        completed = {
+            index: canonical_row(row)
+            for index, row in _load_checkpoint(checkpoint, fingerprint).items()
+        }
         if ob.enabled and completed:
             ob.incr("sweep.points_from_checkpoint", len(completed))
             ob.event(
@@ -211,7 +247,7 @@ def _run_points(
             def on_result(position: int, row: Any) -> None:
                 index = missing[position]
                 if checkpoint is not None:
-                    completed[index] = row
+                    completed[index] = canonical_row(row)
                     _write_checkpoint(checkpoint, fingerprint, completed)
                     if ob.enabled:
                         ob.incr("sweep.checkpoint_writes")
@@ -229,7 +265,8 @@ def _run_points(
             on_result=on_result,
         )
         for position, index in enumerate(missing):
-            completed[index] = rows[position]
+            row = rows[position]
+            completed[index] = canonical_row(row) if canonicalise else row
         if checkpoint is not None:
             _write_checkpoint(checkpoint, fingerprint, completed)
     return [completed[index] for index in range(len(points))]
@@ -482,6 +519,7 @@ def analytical_grid_sweep(
         checkpoint=checkpoint,
         timeout=timeout,
         max_retries=max_retries,
+        canonical=True,
     )
 
 
@@ -639,4 +677,108 @@ def simulated_grid_sweep(
         checkpoint=checkpoint,
         timeout=timeout,
         max_retries=max_retries,
+        canonical=True,
+    )
+
+
+def distributed_grid_sweep(
+    scenario: Any,
+    grids: Dict[str, Sequence[Any]],
+    kind: str = "analytical",
+    workers: int = 2,
+    checkpoint: Optional[str] = None,
+    timeout: Optional[float] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    body_truncation: int = 3,
+    head_truncation: Optional[int] = None,
+    substeps: int = 1,
+    normalize: bool = True,
+    trials: int = 10_000,
+    seed: Optional[int] = None,
+    boundary: str = "torus",
+    batch_size: int = 512,
+) -> List[Dict[str, Any]]:
+    """Run a grid sweep on a local work-stealing worker fleet.
+
+    The same grid, scenario semantics, and checkpoint format as
+    :func:`analytical_grid_sweep` / :func:`simulated_grid_sweep`, but
+    the points are computed by ``workers`` separate worker *processes*
+    coordinated over a socket (see :mod:`repro.distributed`).  The
+    returned rows — and any checkpoint file written — are
+    **byte-identical** to the serial per-point path: analytical rows
+    match every serial dispatch mode; simulated rows match the
+    per-point (``fused=False``) path, whose common-random-numbers
+    design reuses the same root ``seed`` at every point.
+
+    A checkpoint written by a serial sweep resumes a distributed one
+    and vice versa (same fingerprint, same file format), so long as the
+    grid values are plain JSON types — the point list crosses the wire
+    as JSON, and non-JSON grid values (numpy scalars) would change the
+    fingerprint en route.
+
+    Args:
+        scenario: the template :class:`~repro.core.scenario.Scenario`.
+        grids: mapping from scenario field name to the values it takes;
+            rows come back in row-major order.
+        kind: ``"analytical"`` (M-S-approach per point) or
+            ``"simulated"`` (one Monte Carlo simulator per point).
+        workers: worker processes to spawn.
+        checkpoint: optional JSON path with the usual resume semantics;
+            also what lets a killed worker's shard be recomputed by any
+            surviving worker without repeating finished points.
+        timeout: overall wall-clock bound for the sweep.
+        host / port: coordinator bind address (``port=0`` picks a free
+            port; remote workers can join with ``repro sweep --connect``).
+        body_truncation / head_truncation / substeps / normalize:
+            analytical parameters (``kind="analytical"``).
+        trials / seed / boundary / batch_size: Monte Carlo parameters
+            (``kind="simulated"``).
+
+    Raises:
+        AnalysisError: unknown grid fields or an unknown ``kind``.
+        SimulationError: the fleet failed to complete the sweep.
+    """
+    if not grids:
+        raise AnalysisError("grids must name at least one scenario field")
+    unknown = [name for name in grids if not hasattr(scenario, name)]
+    if unknown:
+        raise AnalysisError(
+            f"unknown scenario field(s) {unknown}; sweepable fields are "
+            "the Scenario dataclass fields"
+        )
+    if kind == "analytical":
+        spec: Dict[str, Any] = {
+            "kind": "analytical",
+            "scenario": scenario.to_dict(),
+            "body_truncation": body_truncation,
+            "head_truncation": head_truncation,
+            "substeps": substeps,
+            "normalize": normalize,
+        }
+    elif kind == "simulated":
+        spec = {
+            "kind": "simulated",
+            "scenario": scenario.to_dict(),
+            "trials": trials,
+            "seed": seed,
+            "boundary": boundary,
+            "batch_size": batch_size,
+        }
+    else:
+        raise AnalysisError(
+            f"kind must be 'analytical' or 'simulated', got {kind!r}"
+        )
+    # Imported lazily: repro.distributed imports this module's checkpoint
+    # helpers, so a top-level import would be circular.
+    from repro.distributed import distributed_sweep
+
+    return distributed_sweep(
+        _grid_points(grids),
+        spec,
+        workers=workers,
+        checkpoint=checkpoint,
+        timeout=timeout,
+        host=host,
+        port=port,
     )

@@ -1,0 +1,268 @@
+"""Property-based tests for the work-stealing lease book.
+
+A randomised virtual cluster drives :class:`repro.distributed.LeaseBook`
+through arbitrary interleavings of grants, steals, revoke acks, worker
+crashes, and late joins — the exact schedules the socket layer produces
+nondeterministically, here made reproducible by hypothesis.
+
+The invariants are the distributed tier's whole contract:
+
+* **exactly-once** — no index is ever computed twice;
+* **partition** — completed + leased + pool covers the sweep with no
+  overlap at every step;
+* **liveness** — whenever work is outstanding and a live worker is
+  parked, some enabled action exists (no deadlock);
+* **merge == serial** — the completed set at the end is exactly
+  ``range(total)``, so merging rows by index reproduces the serial
+  sweep.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import LeaseBook
+
+
+class VirtualCluster:
+    """Mirror of the worker-side protocol state, driven by directives.
+
+    Replicates exactly what ``run_worker`` tracks: the owned range, the
+    one-outstanding-``request`` flag, and the pending revoke — so any
+    schedule hypothesis finds here is a schedule the socket layer could
+    produce.
+    """
+
+    def __init__(self, book, names):
+        self.book = book
+        self.owned = {}
+        self.requested = {}
+        self.pending_revoke = {}
+        self.alive = []
+        self.computed = []
+        self.done = set()
+        for name in names:
+            self.join(name)
+
+    def join(self, name):
+        self.book.register(name)
+        self.owned[name] = []
+        self.requested[name] = True
+        self.pending_revoke.pop(name, None)
+        self.alive.append(name)
+        self.apply(self.book.request(name))
+
+    def apply(self, directives):
+        for directive in directives:
+            kind, worker = directive[0], directive[1]
+            if kind == "grant":
+                _, _, start, stop = directive
+                assert worker in self.alive, "grant to a dead worker"
+                assert not self.owned[worker], "grant while still owning"
+                self.owned[worker] = list(range(start, stop))
+                self.requested[worker] = False
+            elif kind == "revoke":
+                assert worker in self.alive, "revoke to a dead worker"
+                self.pending_revoke[worker] = directive[2]
+            elif kind == "done":
+                self.done.add(worker)
+            else:  # pragma: no cover - unknown directive kind
+                raise AssertionError(f"unknown directive {directive!r}")
+
+    # -- enabled actions ----------------------------------------------
+
+    def can_compute(self):
+        return [w for w in self.alive if self.owned[w]]
+
+    def can_ack(self):
+        return [w for w in self.alive if w in self.pending_revoke]
+
+    def can_crash(self):
+        return [w for w in self.alive] if len(self.alive) > 1 else []
+
+    def compute(self, worker):
+        index = self.owned[worker].pop(0)
+        self.computed.append(index)
+        directives = self.book.result(worker, index)
+        if (
+            not self.owned[worker]
+            and worker not in self.pending_revoke
+            and not self.requested[worker]
+        ):
+            self.requested[worker] = True
+            directives = directives + self.book.request(worker)
+        self.apply(directives)
+
+    def ack(self, worker):
+        at = self.pending_revoke.pop(worker)
+        owned = self.owned[worker]
+        stopped_at = max(at, owned[0]) if owned else at
+        self.owned[worker] = [i for i in owned if i < stopped_at]
+        directives = self.book.ack_revoke(worker, stopped_at)
+        if not self.owned[worker] and not self.requested[worker]:
+            self.requested[worker] = True
+            directives = directives + self.book.request(worker)
+        self.apply(directives)
+
+    def crash(self, worker):
+        self.alive.remove(worker)
+        self.owned[worker] = []
+        self.pending_revoke.pop(worker, None)
+        self.apply(self.book.crash(worker))
+
+    # -- invariants ----------------------------------------------------
+
+    def check_partition(self):
+        completed = self.book.completed
+        leased = []
+        for worker in self.alive:
+            leased.extend(self.book.pending(worker))
+        assert len(leased) == len(set(leased)), "overlapping leases"
+        assert not completed.intersection(leased), "completed point leased"
+        pool = set(self.book._pool)
+        assert not pool.intersection(leased), "pooled point leased"
+        assert not pool.intersection(completed), "pooled point completed"
+        universe = completed | set(leased) | pool
+        assert universe == set(range(self.book.total)), "points lost"
+
+    def check_exactly_once(self):
+        assert len(self.computed) == len(set(self.computed)), (
+            "a point was computed twice"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.integers(0, 40),
+    workers=st.integers(1, 5),
+    crash_budget=st.integers(0, 2),
+    data=st.data(),
+)
+def test_random_schedules_complete_exactly_once(
+    total, workers, crash_budget, data
+):
+    book = LeaseBook(total)
+    cluster = VirtualCluster(book, [f"w{i}" for i in range(workers)])
+    joins = 0
+    steps = 0
+    while not book.done:
+        steps += 1
+        assert steps <= 20 * total + 50, "scheduler livelock"
+        actions = []
+        if cluster.can_compute():
+            actions.append("compute")
+        if cluster.can_ack():
+            actions.append("ack")
+        if crash_budget > 0 and cluster.can_crash():
+            actions.append("crash")
+        if joins < 2 and crash_budget == 0:
+            actions.append("join")
+        assert "compute" in actions or "ack" in actions or actions, (
+            "deadlock: work outstanding but no enabled action"
+        )
+        action = data.draw(st.sampled_from(actions), label="action")
+        if action == "compute":
+            worker = data.draw(
+                st.sampled_from(cluster.can_compute()), label="computer"
+            )
+            cluster.compute(worker)
+        elif action == "ack":
+            worker = data.draw(
+                st.sampled_from(cluster.can_ack()), label="acker"
+            )
+            cluster.ack(worker)
+        elif action == "crash":
+            worker = data.draw(
+                st.sampled_from(cluster.can_crash()), label="victim"
+            )
+            cluster.crash(worker)
+            crash_budget -= 1
+        else:
+            joins += 1
+            cluster.join(f"late{joins}")
+        cluster.check_partition()
+        cluster.check_exactly_once()
+    # Merge == serial: every index completed, none duplicated.
+    assert sorted(cluster.computed) == list(range(total))
+    assert book.completed == set(range(total))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    total=st.integers(1, 30),
+    workers=st.integers(1, 4),
+    completed_mask=st.lists(st.booleans(), min_size=30, max_size=30),
+    data=st.data(),
+)
+def test_checkpoint_resume_never_recomputes(
+    total, workers, completed_mask, data
+):
+    """Points already in the checkpoint are never leased again."""
+    already = [i for i in range(total) if completed_mask[i]]
+    book = LeaseBook(total, completed=already)
+    cluster = VirtualCluster(book, [f"w{i}" for i in range(workers)])
+    steps = 0
+    while not book.done:
+        steps += 1
+        assert steps <= 20 * total + 50, "scheduler livelock"
+        actions = []
+        if cluster.can_compute():
+            actions.append("compute")
+        if cluster.can_ack():
+            actions.append("ack")
+        action = data.draw(st.sampled_from(actions), label="action")
+        worker = data.draw(
+            st.sampled_from(
+                cluster.can_compute()
+                if action == "compute"
+                else cluster.can_ack()
+            ),
+            label="worker",
+        )
+        (cluster.compute if action == "compute" else cluster.ack)(worker)
+        cluster.check_partition()
+    assert sorted(cluster.computed) == [
+        i for i in range(total) if i not in set(already)
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    total=st.integers(2, 30),
+    kill_after=st.integers(0, 29),
+    data=st.data(),
+)
+def test_no_shard_leaks_after_crash(total, kill_after, data):
+    """A worker killed at an arbitrary point leaks nothing.
+
+    One worker computes ``kill_after`` points of its lease and dies;
+    a survivor (joining before or after the crash, drawn) must still be
+    able to finish the sweep exactly-once.
+    """
+    book = LeaseBook(total)
+    cluster = VirtualCluster(book, ["doomed"])
+    for _ in range(min(kill_after, total - 1)):
+        if not cluster.owned["doomed"]:
+            break
+        cluster.compute("doomed")
+        if book.done:
+            return
+    survivor_first = data.draw(st.booleans(), label="survivor_first")
+    if survivor_first:
+        cluster.join("survivor")
+    cluster.crash("doomed")
+    if not survivor_first:
+        cluster.join("survivor")
+    cluster.check_partition()
+    steps = 0
+    while not book.done:
+        steps += 1
+        assert steps <= 20 * total + 50, "scheduler livelock"
+        if cluster.can_ack():
+            cluster.ack("survivor")
+        elif cluster.can_compute():
+            cluster.compute("survivor")
+        else:
+            raise AssertionError("survivor starved: shard leaked")
+        cluster.check_partition()
+        cluster.check_exactly_once()
+    assert book.completed == set(range(total))

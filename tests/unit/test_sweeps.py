@@ -149,6 +149,75 @@ class TestCheckpointing:
         assert len(json.loads(path.read_text())["completed"]) == 5
 
 
+class TestCanonicalisation:
+    """Regression tests for checkpoint-resume type drift.
+
+    Rows that pass through a checkpoint used to come back as plain JSON
+    types while freshly-computed rows kept their numpy scalars — the
+    same sweep produced different bytes depending on where the resume
+    boundary fell.  ``canonical_row`` now runs on every write path, so
+    fresh, resumed, and wire-delivered rows are byte-identical.
+    """
+
+    @staticmethod
+    def _numpy_compute(value):
+        return {
+            "value": np.int64(value),
+            "mean": np.float32(value) / 2,
+            "hit": np.bool_(value > 1),
+            "counts": np.arange(value),
+        }
+
+    def test_fresh_and_resumed_rows_byte_identical(self, tmp_path):
+        path = tmp_path / "ck.json"
+        fresh = sweep([1, 2, 3], self._numpy_compute, checkpoint=str(path))
+        state = json.loads(path.read_text())
+        del state["completed"]["1"]
+        path.write_text(json.dumps(state))
+        resumed = sweep([1, 2, 3], self._numpy_compute, checkpoint=str(path))
+        assert json.dumps(fresh) == json.dumps(resumed)
+
+    def test_checkpointed_rows_are_plain_json_types(self, tmp_path):
+        rows = sweep(
+            [2], self._numpy_compute, checkpoint=str(tmp_path / "ck.json")
+        )
+        assert type(rows[0]["value"]) is int
+        assert type(rows[0]["mean"]) is float
+        assert type(rows[0]["hit"]) is bool
+        assert type(rows[0]["counts"]) is list
+
+    def test_canonical_row_sorts_keys_and_preserves_floats(self):
+        from repro.experiments.sweeps import canonical_row
+
+        row = {"b": np.float64(0.1), "a": np.int32(7)}
+        canonical = canonical_row(row)
+        assert list(canonical) == ["a", "b"]
+        # repr round-trip: the float value is bit-exact, not rounded.
+        assert canonical["b"] == 0.1 and type(canonical["b"]) is float
+        assert canonical == canonical_row(canonical)
+
+    def test_checkpoint_bytes_independent_of_completion_order(self, tmp_path):
+        from repro.experiments.sweeps import _write_checkpoint
+
+        forward = tmp_path / "fwd.json"
+        backward = tmp_path / "bwd.json"
+        rows = {index: {"value": index} for index in range(4)}
+        reversed_rows = dict(sorted(rows.items(), reverse=True))
+        _write_checkpoint(str(forward), "f" * 64, rows)
+        _write_checkpoint(str(backward), "f" * 64, reversed_rows)
+        assert forward.read_bytes() == backward.read_bytes()
+
+    def test_resumed_checkpoint_file_byte_identical_to_fresh(self, tmp_path):
+        fresh_path = tmp_path / "fresh.json"
+        resumed_path = tmp_path / "resumed.json"
+        sweep([1, 2, 3], self._numpy_compute, checkpoint=str(fresh_path))
+        state = json.loads(fresh_path.read_text())
+        del state["completed"]["2"]
+        resumed_path.write_text(json.dumps(state))
+        sweep([1, 2, 3], self._numpy_compute, checkpoint=str(resumed_path))
+        assert fresh_path.read_bytes() == resumed_path.read_bytes()
+
+
 class TestAnalyticalGridSweep:
     """Batched dispatch vs per-point fallback of analytical_grid_sweep."""
 
