@@ -5,9 +5,11 @@ its checkpoint fingerprint, the :class:`~repro.distributed.leases.LeaseBook`
 that shards it, and the completed-row map.  Workers connect over TCP,
 handshake (``hello``/``welcome``), and then drive the book through the
 :mod:`repro.distributed.protocol` grammar; every book transition happens
-under one lock, and the directives it returns are pushed to the affected
+under one lock, and the directives it returns are queued to the affected
 connections before the lock is released, so a parked thief receives its
-stolen lease without polling.
+stolen lease without polling.  The blocking socket writes themselves
+happen on a per-connection writer thread, off the lock — one worker
+with a full send buffer cannot stall book transitions for the fleet.
 
 Durability is delegated entirely to the existing sweep checkpoint
 format: each arriving row is written through
@@ -31,6 +33,7 @@ Counters (``MetricsTable("dist")``, mirrored into the obs manifest):
 
 from __future__ import annotations
 
+import queue
 import socket
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -50,19 +53,53 @@ __all__ = ["SweepCoordinator"]
 
 
 class _Connection:
-    """One worker's socket plus its send lock."""
+    """One worker's socket plus its outbound frame queue.
+
+    :meth:`send` only enqueues (it never blocks), so it is safe to call
+    while holding the coordinator's lock; a dedicated writer thread
+    performs the blocking ``sendall`` calls in enqueue order, which
+    preserves per-connection frame order exactly as the book emitted it.
+    """
 
     def __init__(self, sock: socket.socket, worker: str) -> None:
         self.sock = sock
         self.worker = worker
         self.said_bye = False
-        self._send_lock = threading.Lock()
+        self._outbound: "queue.SimpleQueue[Optional[bytes]]" = (
+            queue.SimpleQueue()
+        )
+        self._writer = threading.Thread(
+            target=self._write_loop, name=f"dist-send-{worker}", daemon=True
+        )
+        self._writer.start()
 
     def send(self, frame: Dict[str, Any]) -> None:
-        with self._send_lock:
-            self.sock.sendall(protocol.encode_frame(frame))
+        """Queue ``frame`` for the writer thread; never blocks."""
+        self._outbound.put(protocol.encode_frame(frame))
 
-    def close(self) -> None:
+    def _write_loop(self) -> None:
+        while True:
+            payload = self._outbound.get()
+            if payload is None:
+                return
+            try:
+                self.sock.sendall(payload)
+            except OSError:
+                # The peer died mid-send; the reader side sees EOF and
+                # runs the crash path.  Stop writing, keep draining so
+                # close() does not hang on the sentinel.
+                return
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the writer and close the socket.
+
+        ``drain=True`` (graceful) flushes already-queued frames first,
+        bounded so a wedged peer cannot hang shutdown; ``drain=False``
+        (abort) closes the socket out from under the writer, mid-frame.
+        """
+        self._outbound.put(None)
+        if drain:
+            self._writer.join(5.0)
         try:
             self.sock.close()
         except OSError:
@@ -187,7 +224,14 @@ class SweepCoordinator:
             return [self._rows[index] for index in range(len(self._points))]
 
     def close(self) -> None:
-        """Graceful shutdown: stop accepting, close worker sockets."""
+        """Graceful shutdown: stop accepting, close worker sockets.
+
+        Queued frames (typically the final ``done`` fan-out) are flushed
+        before each socket closes.
+        """
+        self._close(drain=True)
+
+    def _close(self, drain: bool) -> None:
         self._closing = True
         if self._listener is not None:
             try:
@@ -197,7 +241,7 @@ class SweepCoordinator:
         with self._lock:
             connections = list(self._connections.values())
         for connection in connections:
-            connection.close()
+            connection.close(drain=drain)
 
     def abort(self) -> None:
         """Simulate a coordinator crash: drop everything, mid-word.
@@ -210,7 +254,7 @@ class SweepCoordinator:
         """
         self._aborted = True
         self.metrics.event("abort", completed=self.completed_count)
-        self.close()
+        self._close(drain=False)
         self._done.set()
 
     # -- socket plumbing -----------------------------------------------
@@ -250,23 +294,30 @@ class SweepCoordinator:
                 self._handle_frame(connection, frame)
                 if connection.said_bye:
                     break
-        except ProtocolError as exc:
-            try:
-                sock.sendall(
-                    protocol.encode_frame(
-                        protocol.error_frame(str(exc), code=exc.code)
-                    )
-                )
-            except OSError:
-                pass
+        except (ProtocolError, SimulationError) as exc:
+            # A grammar violation or an illegal book transition (e.g. a
+            # result for an unowned index): tell the worker which rule
+            # it broke, then drop it — its lease is reclaimed below.
+            code = exc.code if isinstance(exc, ProtocolError) else "state"
+            frame = protocol.error_frame(str(exc), code=code)
+            if connection is not None:
+                connection.send(frame)
+            else:
+                try:
+                    sock.sendall(protocol.encode_frame(frame))
+                except OSError:
+                    pass
         except OSError:
             pass  # connection dropped; the crash path below reclaims
         finally:
             self._depart(connection)
-            try:
-                sock.close()
-            except OSError:
-                pass
+            if connection is not None:
+                connection.close()
+            else:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
     @staticmethod
     def _read_frame(
@@ -293,7 +344,14 @@ class SweepCoordinator:
     ) -> Optional[_Connection]:
         with self._lock:
             assert self._book is not None
-            if worker in self._connections:
+            duplicate = worker in self._connections
+            if not duplicate:
+                connection = _Connection(sock, worker)
+                self._connections[worker] = connection
+                self._book.register(worker)
+                self.metrics.event("worker_joined", worker=worker)
+        if duplicate:
+            try:
                 sock.sendall(
                     protocol.encode_frame(
                         protocol.error_frame(
@@ -302,11 +360,9 @@ class SweepCoordinator:
                         )
                     )
                 )
-                return None
-            connection = _Connection(sock, worker)
-            self._connections[worker] = connection
-            self._book.register(worker)
-            self.metrics.event("worker_joined", worker=worker)
+            except OSError:
+                pass
+            return None
         connection.send(
             protocol.welcome_frame(self._fingerprint, self._points, self._spec)
         )
@@ -371,26 +427,27 @@ class SweepCoordinator:
             self._on_progress(completed, len(self._points))
 
     def _dispatch(self, directives: List[Directive]) -> None:
-        """Push the book's directives to the affected connections."""
+        """Queue the book's directives to the affected connections.
+
+        Only enqueues (called under the lock); the per-connection writer
+        threads do the blocking sends.  A peer that died between its
+        last frame and this push just never reads the queued frame; its
+        own handler thread runs the crash path when the read side sees
+        EOF.
+        """
         for directive in directives:
             kind, worker = directive[0], directive[1]
             connection = self._connections.get(worker)
             if connection is None:
                 continue
-            try:
-                if kind == "grant":
-                    connection.send(
-                        protocol.lease_frame(directive[2], directive[3])
-                    )
-                elif kind == "revoke":
-                    connection.send(protocol.revoke_frame(directive[2]))
-                elif kind == "done":
-                    connection.send(protocol.done_frame())
-            except OSError:
-                # The peer died between its last frame and this push;
-                # its own handler thread will run the crash path when
-                # the read side sees EOF.
-                pass
+            if kind == "grant":
+                connection.send(
+                    protocol.lease_frame(directive[2], directive[3])
+                )
+            elif kind == "revoke":
+                connection.send(protocol.revoke_frame(directive[2]))
+            elif kind == "done":
+                connection.send(protocol.done_frame())
 
     def _depart(self, connection: Optional[_Connection]) -> None:
         """Connection teardown: clean ``bye`` or crash reclamation."""

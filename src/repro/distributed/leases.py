@@ -247,7 +247,16 @@ class LeaseBook:
         if worker in self._parked:
             self._parked.remove(worker)
         thief = self._revoking.pop(worker, None)
-        if thief is not None and thief not in self._parked and thief in self._leases:
+        if (
+            thief is not None
+            and thief not in self._parked
+            and thief in self._leases
+            and not self._leases[thief]
+        ):
+            # Re-park only a thief that is still idle.  A crash may have
+            # refilled the pool mid-revocation and re-served the thief a
+            # lease; re-parking it then would let _serve_parked grant it
+            # a second lease over the live one, losing those indexes.
             self._parked.append(thief)
         if self.done:
             return self._drain_done()

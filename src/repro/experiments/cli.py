@@ -25,6 +25,7 @@ given in both places resolves to the post-subcommand value).  Exit code
 from __future__ import annotations
 
 import argparse
+import math
 import pathlib
 import sys
 from typing import Any, Callable, Dict, List, Optional
@@ -275,11 +276,19 @@ def _parse_grid_axes(specs: List[str]) -> Dict[str, List[Any]]:
                     f"--grid range for {name!r} needs step > 0 and "
                     f"hi >= lo, got {body!r}"
                 )
-            values: List[Any] = []
-            value = low
-            while value <= high + (1e-9 if isinstance(step, float) else 0):
-                values.append(value)
-                value = value + step
+            if all(isinstance(part, int) for part in (low, high, step)):
+                values: List[Any] = list(range(low, high + 1, step))
+            else:
+                # Count once, then generate low + i*step: repeated
+                # accumulation drifts on long ranges and can drop or
+                # add the endpoint.  The epsilon scales with the span
+                # (in units of step) so large-magnitude grids keep
+                # their intended last point.
+                span = (high - low) / step
+                count = math.floor(span + 1e-9 * max(1.0, abs(span))) + 1
+                values = [
+                    low if i == 0 else low + i * step for i in range(count)
+                ]
         else:
             values = [number(part) for part in body.split(",") if part]
         if not values:

@@ -225,6 +225,98 @@ def test_checkpoint_resume_never_recomputes(
     ]
 
 
+def test_victim_crash_after_thief_reserved_from_pool():
+    """Victim crash must not re-park a thief already re-served a lease.
+
+    The schedule: the pool drains, a thief parks and a revoke goes out
+    against the slowest victim; a *different* worker crashes, refilling
+    the pool, and ``_serve_parked`` grants the still-parked thief a
+    fresh lease while the revocation is still pending.  Then the victim
+    crashes.  The buggy crash path re-parked the thief unconditionally,
+    and the trailing ``_serve_parked`` granted it a second lease over
+    the live one — those indexes left the completed/leased/pool
+    partition for good and the sweep deadlocked.
+    """
+    book = LeaseBook(12)
+    for name in ("w0", "w1", "thief"):
+        book.register(name)
+    assert book.request("w0") == [("grant", "w0", 0, 4)]
+    assert book.request("w1") == [("grant", "w1", 4, 7)]
+    assert book.request("thief") == [("grant", "thief", 7, 9)]
+    # The thief races through its grants until the pool is dry.
+    for index in (7, 8):
+        book.result("thief", index)
+    for index in (9, 10, 11):
+        assert book.request("thief") == [
+            ("grant", "thief", index, index + 1)
+        ]
+        book.result("thief", index)
+    # Pool empty: the thief parks and a revoke targets the slowest peer.
+    assert book.request("thief") == [("revoke", "w0", 2)]
+    # The non-victim crashes; its lease refills the pool and the parked
+    # thief is re-served from it while w0's revocation is still pending.
+    assert book.crash("w1") == [("grant", "thief", 4, 6)]
+    assert book.pending("thief") == [4, 5]
+    # Now the victim crashes.  The thief owns a live lease, so it must
+    # NOT be re-parked (and must not receive an overlapping grant).
+    directives = book.crash("w0")
+    assert all(d[1] != "thief" for d in directives)
+    assert book.pending("thief") == [4, 5]
+    # Partition invariant: nothing lost, nothing doubled.
+    leased = book.pending("thief")
+    pool = set(book._pool)
+    assert not book.completed & set(leased)
+    assert not pool & set(leased) and not pool & book.completed
+    assert book.completed | set(leased) | pool == set(range(12))
+    # The lone survivor can finish the sweep.
+    steps = 0
+    while not book.done:
+        steps += 1
+        assert steps <= 50, "sweep deadlocked after victim crash"
+        pending = book.pending("thief")
+        if pending:
+            book.result("thief", pending[0])
+        else:
+            assert any(
+                d[0] in ("grant", "done") for d in book.request("thief")
+            )
+    assert book.completed == set(range(12))
+
+
+def test_victim_crash_after_thief_reserved_via_cluster():
+    """The same schedule through the worker-protocol mirror.
+
+    ``VirtualCluster.apply`` asserts "grant while still owning" — the
+    exact frame the real worker rejects with "lease pushed while one is
+    still owned" — so this fails loudly if the crash path ever hands a
+    re-served thief a second lease.
+    """
+    book = LeaseBook(12)
+    cluster = VirtualCluster(book, ["w0"])  # w0 is granted all 12
+    cluster.join("w1")  # parks, revokes w0's tail
+    cluster.ack("w0")
+    cluster.join("thief")  # parks, revokes the new slowest peer
+    victim = next(iter(cluster.pending_revoke))
+    other = next(
+        w for w in cluster.alive if w not in (victim, "thief")
+    )
+    cluster.crash(other)  # pool refills; thief may be re-served
+    cluster.check_partition()
+    cluster.crash(victim)  # must not double-grant the thief
+    cluster.check_partition()
+    steps = 0
+    while not book.done:
+        steps += 1
+        assert steps <= 100, "scheduler livelock"
+        if cluster.can_ack():
+            cluster.ack(cluster.can_ack()[0])
+        else:
+            cluster.compute(cluster.can_compute()[0])
+        cluster.check_partition()
+        cluster.check_exactly_once()
+    assert book.completed == set(range(12))
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     total=st.integers(2, 30),

@@ -4,8 +4,41 @@ import json
 
 import pytest
 
-from repro.experiments.cli import build_parser, main
+from repro.experiments.cli import _parse_grid_axes, build_parser, main
 from repro.obs import read_jsonl
+
+
+class TestParseGridAxes:
+    def test_explicit_values_and_int_range(self):
+        grids = _parse_grid_axes(["n=10,20,30", "k=20:40:10"])
+        assert grids == {"n": [10, 20, 30], "k": [20, 30, 40]}
+
+    def test_float_range_inclusive(self):
+        assert _parse_grid_axes(["rs=0:1:0.25"])["rs"] == [
+            0,
+            0.25,
+            0.5,
+            0.75,
+            1.0,
+        ]
+
+    def test_large_magnitude_range_keeps_endpoint(self):
+        # Regression: repeated accumulation with an absolute 1e-9
+        # epsilon dropped the final point once rounding drift at this
+        # magnitude exceeded the epsilon, silently changing the point
+        # list (and hence the checkpoint fingerprint).
+        values = _parse_grid_axes(["x=100000:100184.2:0.1"])["x"]
+        assert len(values) == 1843
+        assert values[-1] == pytest.approx(100184.2)
+        assert values[5] == 100000 + 5 * 0.1
+
+    def test_degenerate_range_is_single_point(self):
+        assert _parse_grid_axes(["v=2:2:0.5"])["v"] == [2]
+
+    def test_rejects_malformed(self):
+        for spec in ["n", "n=", "n=1:2", "n=2:1:1", "n=1:2:0"]:
+            with pytest.raises(ValueError):
+                _parse_grid_axes([spec])
 
 
 class TestParser:

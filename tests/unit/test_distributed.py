@@ -352,3 +352,41 @@ class TestCoordinatorSocket:
         assert [row["value"] for row in rows] == [0, 2, 4, 6, 8, 10, 12]
         counters, _ = second.metrics.snapshot()
         assert counters["resumes"] == 7
+
+    def test_illegal_transition_gets_error_frame(self):
+        """A book violation answers with a typed error frame.
+
+        Reporting a result for an index the worker does not own raises
+        SimulationError inside the lease book; the handler must turn
+        that into an ``error`` frame (code ``state``) before dropping
+        the connection, not die with an unhandled traceback.
+        """
+        coordinator = SweepCoordinator(self.POINTS, DOUBLE_SPEC).start()
+        try:
+            host, port = coordinator.address
+            sock = socket.create_connection((host, port), timeout=10)
+            sock.settimeout(10)
+            decoder = protocol.FrameDecoder(protocol.MAX_SWEEP_FRAME_BYTES)
+            pending = []
+
+            def read_frame():
+                while not pending:
+                    chunk = sock.recv(1 << 16)
+                    assert chunk, "coordinator closed without an error frame"
+                    pending.extend(decoder.feed(chunk))
+                return pending.pop(0)
+
+            sock.sendall(
+                protocol.encode_frame(protocol.hello_frame("rogue"))
+            )
+            assert read_frame()["type"] == "welcome"
+            sock.sendall(
+                protocol.encode_frame(protocol.result_frame(3, {"x": 3}))
+            )
+            frame = read_frame()
+            assert frame["type"] == "error"
+            assert frame["code"] == "state"
+            assert "does not own" in frame["error"]
+            sock.close()
+        finally:
+            coordinator.close()
