@@ -29,7 +29,14 @@ recorded ``cpu_count=1`` serial baseline:
   offline recount-the-window cost (the exact optimisation
   :class:`~repro.streaming.detector.SlidingWindowDetector` exists for) —
   plus ledger pins on the committed pipeline row (digest must have
-  matched; latency percentiles must be coherent).
+  matched; latency percentiles must be coherent);
+* the PERF-ADAPT exactness-and-cost ledger — every committed row must
+  have matched the dense answer exactly, and the aggregate adaptive
+  evaluation count must sit at or below the recorded 25% acceptance
+  ratio (catches the adaptive tier silently degrading toward a dense
+  re-scan, or a stale record claiming a win it no longer has) — plus a
+  live smoke re-proving adaptive == dense ``minimum_sensors`` on this
+  machine, right now.
 
 The 3x envelope absorbs host-speed differences between the recording
 machine and CI runners while still catching order-of-magnitude
@@ -332,6 +339,66 @@ def test_stream_pipeline_ledger_vs_recorded_baseline():
     assert abs(
         row["reports_per_sec"] * row["seconds"] - total
     ) <= 1e-6 * total, "committed throughput does not match its own timing"
+
+
+def test_adaptive_search_vs_recorded_baseline():
+    """Gate the committed PERF-ADAPT record, plus a live exactness smoke.
+
+    ``bench_adaptive.py`` enforces both live (and CI's bench-smoke job
+    re-runs it per merge at smoke scale); this gate pins the *committed*
+    artifact — the exactness claim in the repository can never drift:
+    every recorded query must have matched its dense answer, and the
+    aggregate evaluation ratio must honour the recorded acceptance
+    threshold.  The live half re-proves adaptive == dense on a small
+    ``minimum_sensors`` query with strictly fewer evaluations, on this
+    machine, right now.
+    """
+    baseline = _load_baseline("perf-adapt.json")
+    expected = {
+        "minimum_sensors", "maximum_threshold", "rule_frontier",
+        "design_slice",
+    }
+    recorded = {row["query"] for row in baseline.rows}
+    assert recorded == expected, (
+        f"perf-adapt.json must record {sorted(expected)}, "
+        f"got {sorted(recorded)}"
+    )
+    for row in baseline.rows:
+        assert row["match"] is True, (
+            f"committed adaptive record's {row['query']} answer did not "
+            "match the dense scan"
+        )
+        assert 0 < row["adaptive_evaluations"] < row["dense_evaluations"], row
+    ratio_ceiling = baseline.parameters["max_evaluation_ratio"]
+    dense_total = sum(row["dense_evaluations"] for row in baseline.rows)
+    adaptive_total = sum(row["adaptive_evaluations"] for row in baseline.rows)
+    assert adaptive_total <= ratio_ceiling * dense_total, (
+        f"committed adaptive record spent {adaptive_total} of "
+        f"{dense_total} dense evaluations "
+        f"({adaptive_total / dense_total:.1%}), above its own recorded "
+        f"{ratio_ceiling:.0%} acceptance ratio"
+    )
+
+    from repro.adaptive import InProcessEvaluator, adaptive_minimum_sensors
+    from repro.core.design import minimum_sensors
+    from repro.experiments.presets import small_scenario
+
+    clear_analysis_cache()
+    scenario = small_scenario()
+    dense_ev = InProcessEvaluator()
+    dense = minimum_sensors(
+        scenario, 0.3, max_sensors=64, evaluator=dense_ev
+    )
+    adaptive_ev = InProcessEvaluator()
+    adaptive = adaptive_minimum_sensors(
+        scenario, 0.3, max_sensors=64, evaluator=adaptive_ev
+    )
+    assert adaptive == dense, (
+        "live smoke: adaptive minimum_sensors diverged from the dense scan"
+    )
+    assert adaptive_ev.ledger.evaluations < dense_ev.ledger.evaluations, (
+        "live smoke: adaptive search paid at least the dense cost"
+    )
 
 
 def test_distributed_scaling_vs_recorded_baseline():

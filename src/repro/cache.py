@@ -81,6 +81,7 @@ __all__ = [
     "analysis_cache",
     "clear_analysis_cache",
     "cached_array",
+    "design_point_key",
     "grid_key",
     "pmf_key",
     "region_geometry_key",
@@ -456,5 +457,41 @@ def grid_key(
         int(head_truncation),
         int(substeps),
         counts.tobytes(),
+        str(backend),
+    )
+
+
+def design_point_key(
+    scenario,
+    body_truncation: int,
+    head_truncation: int,
+    substeps: int,
+    normalize: bool,
+    backend: str,
+    point: dict,
+) -> Tuple:
+    """Cache key for one design-space oracle point (a scalar probability).
+
+    Keyed by the *fully resolved* scenario — the template with the
+    point's replacement fields applied — plus the effective threshold and
+    every engine parameter, so two design queries that land on the same
+    ``(scenario, k)`` cell share one entry no matter which template or
+    search path produced them.  Unlike :func:`grid_key` this memoises a
+    single float, not a distribution stack: it is the adaptive layer's
+    point-level memo, sitting *above* the stack cache.
+    """
+    replacements = {
+        name: value for name, value in point.items() if name != "threshold"
+    }
+    target = scenario.replace(**replacements) if replacements else scenario
+    threshold = point.get("threshold")
+    return (
+        "design_point",
+        tuple(sorted(target.to_dict().items())),
+        None if threshold is None else int(threshold),
+        int(body_truncation),
+        int(head_truncation),
+        int(substeps),
+        bool(normalize),
         str(backend),
     )

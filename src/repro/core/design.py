@@ -9,9 +9,15 @@ detection requirement — under a node-level false alarm budget.
 All searches are over integers and use the model's monotonicities
 (detection probability is non-decreasing in ``N`` and non-increasing in
 ``k``), which the test suite pins down.  Candidate ranges are evaluated
-on :class:`repro.core.batched.BatchedMarkovSpatialAnalysis` — whole
-``N`` chunks (or the whole ``k`` axis, answered from one survival
-function) per kernel call instead of one scalar pipeline per candidate.
+through the :mod:`repro.adaptive.evaluators` seam — by default an
+in-process :class:`repro.core.batched.BatchedMarkovSpatialAnalysis`
+evaluating whole ``N`` chunks (or the whole ``k`` axis, answered from
+one survival function) per kernel call instead of one scalar pipeline
+per candidate.  Passing ``evaluator=`` redirects the same scans through
+the point cache or the distributed fleet, and charges their dense cost
+to the evaluator's ledger — which is how the oracle-equivalence tier
+compares them against :mod:`repro.adaptive.search`, the bisection layer
+that answers these queries exactly from O(log) points.
 Every search accepts an optional ``backend=`` (see
 :mod:`repro.core.kernels`), forwarded to the batched engine; ``None``
 defers to the process-wide default.
@@ -45,6 +51,20 @@ __all__ = [
 _SCAN_CHUNK = 128
 
 
+def _resolve_evaluator(evaluator, truncation, backend):
+    """The oracle backend a scan evaluates through (default: in-process).
+
+    Imported lazily: :mod:`repro.adaptive` depends on this module for
+    the dense-scan semantics its fallbacks replicate, so the evaluator
+    import must not run at module import time.
+    """
+    if evaluator is not None:
+        return evaluator
+    from repro.adaptive.evaluators import InProcessEvaluator
+
+    return InProcessEvaluator(truncation=truncation, backend=backend)
+
+
 def detection_probability(
     scenario: Scenario,
     truncation: int = 3,
@@ -68,6 +88,7 @@ def minimum_sensors(
     max_sensors: int = 2_000,
     truncation: int = 3,
     backend: Optional[str] = None,
+    evaluator=None,
 ) -> Optional[int]:
     """Smallest ``N`` whose detection probability meets the requirement.
 
@@ -81,6 +102,10 @@ def minimum_sensors(
         required_probability: target ``P_M[X >= k]`` in ``(0, 1)``.
         max_sensors: search ceiling.
         truncation: M-S truncation ``g``.
+        evaluator: optional :class:`repro.adaptive.Evaluator` the chunks
+            are evaluated (and their cost charged) through; see
+            :func:`repro.adaptive.adaptive_minimum_sensors` for the
+            bisected equivalent.
 
     Returns:
         The minimal ``N``, or ``None`` if even ``max_sensors`` falls short.
@@ -91,12 +116,10 @@ def minimum_sensors(
         )
     if max_sensors < 1:
         raise AnalysisError(f"max_sensors must be >= 1, got {max_sensors}")
-    engine = BatchedMarkovSpatialAnalysis(
-        scenario, body_truncation=truncation, backend=backend
-    )
+    ev = _resolve_evaluator(evaluator, truncation, backend)
     for start in range(1, max_sensors + 1, _SCAN_CHUNK):
         counts = list(range(start, min(start + _SCAN_CHUNK, max_sensors + 1)))
-        column = engine.detection_probability_grid(num_sensors=counts)[:, 0]
+        column = np.asarray(ev.grid(scenario, num_sensors=counts))[:, 0]
         meeting = np.flatnonzero(column >= required_probability)
         if meeting.size:
             return counts[int(meeting[0])]
@@ -108,6 +131,7 @@ def maximum_threshold(
     required_probability: float,
     truncation: int = 3,
     backend: Optional[str] = None,
+    evaluator=None,
 ) -> Optional[int]:
     """Largest ``k`` (false-alarm immunity) still meeting the requirement.
 
@@ -124,9 +148,8 @@ def maximum_threshold(
     thresholds = list(
         range(1, scenario.num_sensors * (scenario.ms + 1) + 1)
     )
-    row = BatchedMarkovSpatialAnalysis(
-        scenario, body_truncation=truncation, backend=backend
-    ).detection_probability_grid(thresholds=thresholds)[0]
+    ev = _resolve_evaluator(evaluator, truncation, backend)
+    row = np.asarray(ev.grid(scenario, thresholds=thresholds))[0]
     failing = np.flatnonzero(row < required_probability)
     if failing.size == 0:
         return thresholds[-1]
@@ -160,6 +183,7 @@ def design_deployment(
     max_sensors: int = 2_000,
     truncation: int = 3,
     backend: Optional[str] = None,
+    evaluator=None,
 ) -> Optional[DesignPoint]:
     """Joint design: smallest ``N`` with the FA-safe ``k`` meeting detection.
 
@@ -189,9 +213,8 @@ def design_deployment(
         for count in counts
     ]
     distinct = sorted(set(thresholds))
-    grid = BatchedMarkovSpatialAnalysis(
-        template, body_truncation=truncation, backend=backend
-    ).detection_probability_grid(num_sensors=counts, thresholds=distinct)
+    ev = _resolve_evaluator(evaluator, truncation, backend)
+    grid = np.asarray(ev.grid(template, num_sensors=counts, thresholds=distinct))
     column_of = {threshold: j for j, threshold in enumerate(distinct)}
     for i, (count, threshold) in enumerate(zip(counts, thresholds)):
         p_detect = float(grid[i, column_of[threshold]])
@@ -215,6 +238,7 @@ def rule_frontier(
     thresholds: range,
     truncation: int = 3,
     backend: Optional[str] = None,
+    evaluator=None,
 ) -> List[DesignPoint]:
     """Detection probability along a sweep of ``k`` (fixed ``N``, ``M``).
 
@@ -224,6 +248,13 @@ def rule_frontier(
     output through
     :func:`repro.core.false_alarms.window_false_alarm_probability` for a
     concrete noise level).
+
+    Repeated frontier queries are cheap by design: the survival stack is
+    memoised under :func:`repro.cache.grid_key` (``k`` is in no cache
+    key), so a second call with a different threshold range adds cache
+    hits, not misses — and routing through a
+    :class:`repro.adaptive.CachedEvaluator` extends that to the
+    point level across repeated queries.
     """
     ks = list(thresholds)
     for k in ks:
@@ -231,9 +262,8 @@ def rule_frontier(
             raise AnalysisError(f"thresholds must be >= 1, got {k}")
     if not ks:
         return []
-    row = BatchedMarkovSpatialAnalysis(
-        scenario, body_truncation=truncation, backend=backend
-    ).detection_probability_grid(thresholds=ks)[0]
+    ev = _resolve_evaluator(evaluator, truncation, backend)
+    row = np.asarray(ev.grid(scenario, thresholds=ks))[0]
     return [
         DesignPoint(
             scenario=scenario.replace(threshold=k),

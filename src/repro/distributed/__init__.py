@@ -24,6 +24,7 @@ kill/resume interleaving.  See ``docs/distributed.md``.
 """
 
 from repro.distributed.coordinator import SweepCoordinator
+from repro.distributed.evaluator import FleetEvaluator
 from repro.distributed.leases import LeaseBook
 from repro.distributed.orchestrator import LocalFleet, distributed_sweep
 from repro.distributed.worker import (
@@ -33,6 +34,7 @@ from repro.distributed.worker import (
 )
 
 __all__ = [
+    "FleetEvaluator",
     "LeaseBook",
     "LocalFleet",
     "SweepCoordinator",

@@ -156,7 +156,8 @@ def _run_rule(args: argparse.Namespace) -> ExperimentRecord:
 
 def _run_design(args: argparse.Namespace) -> ExperimentRecord:
     return figures.deployment_design_experiment(
-        max_sensors=getattr(args, "max_sensors", 600)
+        max_sensors=getattr(args, "max_sensors", 600),
+        adaptive=bool(getattr(args, "adaptive", False)),
     )
 
 
@@ -549,6 +550,14 @@ def build_parser() -> argparse.ArgumentParser:
                 dest="max_sensors",
                 help="fleet-size search ceiling for the design scans "
                 "(default: 600)",
+            )
+            sub.add_argument(
+                "--adaptive",
+                action="store_true",
+                help="answer the fixed-rule sizing by monotone bisection "
+                "through the cached evaluator seam (identical numbers, "
+                "O(log) oracle points; the record carries the evaluation "
+                "ledger)",
             )
         if name == "netloss":
             sub.add_argument(

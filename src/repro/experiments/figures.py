@@ -1135,6 +1135,7 @@ def deployment_design_experiment(
     node_false_alarm_prob: float = 1e-4,
     max_window_fa_probability: float = 1e-3,
     max_sensors: int = 600,
+    adaptive: bool = False,
 ) -> ExperimentRecord:
     """EXT-DESIGN: invert the model — fleet sizing from requirements.
 
@@ -1146,9 +1147,22 @@ def deployment_design_experiment(
     candidate scans run on the batched kernel, so the whole table costs
     a handful of grid evaluations rather than thousands of scalar
     pipelines.
+
+    With ``adaptive=True`` the fixed-rule sizing runs through
+    :func:`repro.adaptive.adaptive_minimum_sensors` on a cached
+    evaluator — identical numbers (the oracle-equivalence contract) from
+    O(log) oracle points — and the record's parameters carry the
+    evaluation ledger.  The joint design keeps its dense candidate scan
+    either way: its objective is not monotone in ``N``.
     """
     from repro.core.design import design_deployment, minimum_sensors
+    from repro.errors import AnalysisError
 
+    if max_sensors < 1:
+        # The same validation the design scans apply, surfaced before the
+        # template is built so `--max-sensors 0` fails as a design error
+        # rather than a scenario construction error.
+        raise AnalysisError(f"max_sensors must be >= 1, got {max_sensors}")
     template = onr_scenario(
         num_sensors=max_sensors,
         speed=speed,
@@ -1165,12 +1179,24 @@ def deployment_design_experiment(
             "node_false_alarm_prob": node_false_alarm_prob,
             "max_window_fa_probability": max_window_fa_probability,
             "max_sensors": max_sensors,
+            "adaptive": adaptive,
         },
     )
+    ledger = None
+    if adaptive:
+        from repro.adaptive import CachedEvaluator, adaptive_minimum_sensors
+
+        evaluator = CachedEvaluator()
+        ledger = evaluator.ledger
     for required in requirements:
-        fixed_rule = minimum_sensors(
-            template, required, max_sensors=max_sensors
-        )
+        if adaptive:
+            fixed_rule = adaptive_minimum_sensors(
+                template, required, max_sensors=max_sensors, evaluator=evaluator
+            )
+        else:
+            fixed_rule = minimum_sensors(
+                template, required, max_sensors=max_sensors
+            )
         joint = design_deployment(
             template,
             required,
@@ -1190,6 +1216,8 @@ def deployment_design_experiment(
                 None if joint is None else joint.window_false_alarm_probability
             ),
         )
+    if ledger is not None:
+        record.parameters["adaptive_ledger"] = ledger.stats()
     return record
 
 

@@ -1,0 +1,190 @@
+"""Property tests for the adaptive bisection cores.
+
+Synthetic oracles (plain float arrays, no scenarios) so hypothesis can
+search hard: on monotone oracles the bisections must return the
+exhaustive scan's answer within the logarithmic evaluation bound, and on
+oracles with *sampled* monotonicity violations the fallback must still
+return the exact dense answer while counting ``adaptive.fallbacks``.
+
+The violation families are built to be detectable by construction: the
+bisections always evaluate both endpoints first and the midpoint next,
+so corrupting exactly those points guarantees the consistency check
+sees the violation (an arbitrary interior corruption may simply never be
+sampled — that is the documented contract, not a bug).
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive import (
+    EvaluationLedger,
+    MonotoneOracle,
+    bisect_first_meeting,
+    bisect_last_meeting,
+)
+
+probabilities = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def counting_oracle(values, direction, counter):
+    def batch(indexes):
+        counter[0] += len(indexes)
+        return [values[i] for i in indexes]
+
+    return MonotoneOracle(batch, direction)
+
+
+def log_bound(span):
+    return (0 if span <= 1 else int(math.ceil(math.log2(span)))) + 2
+
+
+def dense_first_meeting(values, target):
+    return next((i for i, v in enumerate(values) if v >= target), None)
+
+
+def dense_last_meeting(values, target):
+    failing = next((i for i, v in enumerate(values) if v < target), None)
+    if failing is None:
+        return len(values) - 1
+    if failing == 0:
+        return None
+    return failing - 1
+
+
+@given(
+    values=st.lists(probabilities, min_size=2, max_size=300).map(sorted),
+    target=probabilities,
+)
+@settings(max_examples=200)
+def test_first_meeting_is_exhaustive_scan_within_log_evals(values, target):
+    counter = [0]
+    ledger = EvaluationLedger()
+    got = bisect_first_meeting(
+        counting_oracle(values, +1, counter),
+        0,
+        len(values) - 1,
+        target,
+        ledger,
+    )
+    assert got == dense_first_meeting(values, target)
+    assert counter[0] <= log_bound(len(values) - 1)
+    assert ledger.fallbacks == 0
+    assert ledger.bisections == 1
+
+
+@given(
+    values=st.lists(probabilities, min_size=2, max_size=300).map(
+        lambda vs: sorted(vs, reverse=True)
+    ),
+    target=probabilities,
+)
+@settings(max_examples=200)
+def test_last_meeting_is_exhaustive_scan_within_log_evals(values, target):
+    counter = [0]
+    ledger = EvaluationLedger()
+    got = bisect_last_meeting(
+        counting_oracle(values, -1, counter),
+        0,
+        len(values) - 1,
+        target,
+        ledger,
+    )
+    assert got == dense_last_meeting(values, target)
+    assert counter[0] <= log_bound(len(values) - 1)
+    assert ledger.fallbacks == 0
+
+
+@given(
+    values=st.lists(probabilities, min_size=2, max_size=100).map(sorted),
+    target=st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=150)
+def test_endpoint_violation_falls_back_to_exact_dense_answer(values, target):
+    # Swap-the-endpoints family: v[lo] > v[hi] under a "non-decreasing"
+    # claim.  Both endpoints are always the first points evaluated, so
+    # the violation is sampled by construction.
+    corrupted = list(values)
+    corrupted[0], corrupted[-1] = 1.0, 0.0
+    assume(corrupted[0] > corrupted[-1])
+    ledger = EvaluationLedger()
+    got = bisect_first_meeting(
+        counting_oracle(corrupted, +1, [0]),
+        0,
+        len(corrupted) - 1,
+        target,
+        ledger,
+    )
+    assert ledger.fallbacks == 1
+    assert got == dense_first_meeting(corrupted, target)
+
+
+@given(
+    values=st.lists(probabilities, min_size=8, max_size=100).map(sorted),
+    target=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=150)
+def test_midpoint_spike_falls_back_to_exact_dense_answer(values, target):
+    # Spike-the-first-midpoint family: after the endpoint round the
+    # bisection deterministically evaluates (lo + hi) // 2, so a spike
+    # above v[hi] there is guaranteed to be sampled — and it genuinely
+    # changes the dense answer for targets between v[mid] and the spike.
+    lo, hi = 0, len(values) - 1
+    assume(values[lo] < target <= values[hi])  # no early return
+    corrupted = list(values)
+    mid = (lo + hi) // 2
+    corrupted[mid] = 2.0  # above any probability: a certain violation
+    assume(mid not in (lo, hi))
+    ledger = EvaluationLedger()
+    got = bisect_first_meeting(
+        counting_oracle(corrupted, +1, [0]), lo, hi, target, ledger
+    )
+    assert ledger.fallbacks == 1
+    assert got == dense_first_meeting(corrupted, target)
+
+
+@given(
+    values=st.lists(probabilities, min_size=8, max_size=100).map(
+        lambda vs: sorted(vs, reverse=True)
+    ),
+    target=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=150)
+def test_last_meeting_spike_falls_back_to_dense_rule(values, target):
+    lo, hi = 0, len(values) - 1
+    assume(values[lo] >= target > values[hi])
+    corrupted = list(values)
+    mid = (lo + hi) // 2
+    corrupted[mid] = -1.0  # below any probability: a certain violation
+    assume(mid not in (lo, hi))
+    ledger = EvaluationLedger()
+    got = bisect_last_meeting(
+        counting_oracle(corrupted, -1, [0]), lo, hi, target, ledger
+    )
+    assert ledger.fallbacks == 1
+    assert got == dense_last_meeting(corrupted, target)
+
+
+@given(
+    values=st.lists(probabilities, min_size=2, max_size=200).map(sorted),
+    target=probabilities,
+)
+@settings(max_examples=100)
+def test_fallback_never_repays_for_memoised_points(values, target):
+    # Even when it falls back, the search never evaluates an index twice:
+    # total evaluations are bounded by the range size.
+    corrupted = list(values)
+    corrupted[0], corrupted[-1] = 1.0, 0.0
+    assume(corrupted[0] > corrupted[-1])
+    counter = [0]
+    bisect_first_meeting(
+        counting_oracle(corrupted, +1, counter),
+        0,
+        len(corrupted) - 1,
+        target,
+        EvaluationLedger(),
+    )
+    assert counter[0] <= len(corrupted)

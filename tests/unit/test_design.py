@@ -23,6 +23,24 @@ class TestDetectionProbability:
 
 
 class TestMinimumSensors:
+    def test_empty_feasible_set_returns_none(self, small):
+        # No N in the whole range satisfies the target: every candidate
+        # was evaluated and rejected, not just a short-circuit.
+        assert minimum_sensors(small, 0.9, max_sensors=5) is None
+
+    def test_target_exactly_at_grid_boundary(self, small):
+        # The scan's comparison is >=: a requirement equal to a grid
+        # value bit-for-bit must select exactly that N, not N + 1.
+        n = minimum_sensors(small, 0.3, max_sensors=64)
+        boundary = detection_probability(small.replace(num_sensors=n))
+        assert minimum_sensors(small, boundary, max_sensors=64) == n
+
+    def test_single_point_range(self, small):
+        # max_sensors=1 degenerates to evaluating N=1 only.
+        assert minimum_sensors(small, 0.9, max_sensors=1) is None
+        low = detection_probability(small.replace(num_sensors=1)) / 2
+        assert minimum_sensors(small, low, max_sensors=1) == 1
+
     def test_result_is_minimal(self):
         template = onr_scenario()
         n = minimum_sensors(template, 0.90, max_sensors=400)
@@ -60,6 +78,13 @@ class TestMaximumThreshold:
     def test_invalid_requirement_rejected(self, onr):
         with pytest.raises(AnalysisError):
             maximum_threshold(onr, 0.0)
+
+    def test_target_exactly_at_grid_boundary(self, small):
+        # A requirement equal (bit-for-bit) to P[detect] at some k must
+        # keep that k: the first *failing* index is strictly below it.
+        k = maximum_threshold(small, 0.2)
+        boundary = detection_probability(small.replace(threshold=k))
+        assert maximum_threshold(small, boundary) == k
 
 
 class TestDesignDeployment:
@@ -106,3 +131,23 @@ class TestRuleFrontier:
     def test_invalid_threshold_rejected(self, onr):
         with pytest.raises(AnalysisError):
             rule_frontier(onr, range(0, 3))
+
+    def test_empty_range_returns_empty_list(self, small):
+        assert rule_frontier(small, range(5, 5)) == []
+
+    def test_single_point_range(self, small):
+        [point] = rule_frontier(small, range(3, 4))
+        assert point.scenario.threshold == 3
+        assert point.detection_probability == detection_probability(
+            small.replace(threshold=3)
+        )
+
+
+class TestMaxSensorsCliValidation:
+    def test_invalid_max_sensors_reaches_cli(self):
+        # --max-sensors is forwarded unchecked to design_deployment,
+        # whose validation is the single source of truth.
+        from repro.experiments.cli import main
+
+        with pytest.raises(AnalysisError):
+            main(["design", "--max-sensors", "0"])
