@@ -26,9 +26,12 @@ Accounting
 
 Each evaluator owns (or shares) an
 :class:`repro.adaptive.ledger.EvaluationLedger`.  ``evaluate`` and
-``grid`` charge every point they *compute*; the caching evaluator
-charges only misses and books hits separately — a cache hit must never
-inflate the evaluation count the oracle-equivalence tier asserts on.
+``grid`` charge every point they *compute* — the budget is pre-checked
+before a batch is dispatched, but the charge itself lands only after
+the computation succeeds, so a failed or timed-out dispatch consumes no
+budget and inflates no counters.  The caching evaluator charges only
+misses and books hits separately — a cache hit must never inflate the
+evaluation count the oracle-equivalence tier asserts on.
 """
 
 from __future__ import annotations
@@ -42,10 +45,21 @@ from repro.cache import AnalysisCache, analysis_cache, design_point_key
 from repro.core.batched import BatchedMarkovSpatialAnalysis
 from repro.core.kernels import resolve_backend
 from repro.core.scenario import Scenario
+from repro.errors import AnalysisError
 
 __all__ = ["CachedEvaluator", "Evaluator", "InProcessEvaluator"]
 
 Point = Dict[str, object]
+
+#: Engine parameters every evaluator resolves values under; an evaluator
+#: wrapping another must agree with it on all of these.
+_ENGINE_PARAMS = (
+    "truncation",
+    "head_truncation",
+    "substeps",
+    "normalize",
+    "backend",
+)
 
 
 class Evaluator:
@@ -86,12 +100,19 @@ class Evaluator:
     # -- the two query shapes ------------------------------------------
 
     def evaluate(self, scenario: Scenario, points: Sequence[Point]) -> List[float]:
-        """Detection probability for each replacement point, in order."""
+        """Detection probability for each replacement point, in order.
+
+        The budget is checked *before* dispatching (a runaway search
+        cannot burn a fleet), but the ledger is charged only *after* the
+        batch computes — a dispatch that raises consumes nothing.
+        """
         points = list(points)
         if not points:
             return []
+        self.ledger.precheck(len(points))
+        values = self._compute_points(scenario, points)
         self.ledger.charge(len(points))
-        return self._compute_points(scenario, points)
+        return values
 
     def grid(
         self,
@@ -106,8 +127,10 @@ class Evaluator:
         evaluation counts are directly comparable.
         """
         counts, ks = self._resolve_axes(scenario, num_sensors, thresholds)
+        self.ledger.precheck(len(counts) * len(ks))
+        values = self._compute_grid(scenario, num_sensors, thresholds)
         self.ledger.charge(len(counts) * len(ks))
-        return self._compute_grid(scenario, num_sensors, thresholds)
+        return values
 
     # -- backend hooks -------------------------------------------------
 
@@ -217,7 +240,12 @@ class CachedEvaluator(Evaluator):
 
     Args:
         inner: backend that computes misses (default: a fresh
-            :class:`InProcessEvaluator` with the same parameters).
+            :class:`InProcessEvaluator` with the same parameters).  When
+            an inner evaluator is provided it is the source of truth for
+            the engine parameters — passing an engine kwarg that
+            disagrees with it raises :class:`repro.errors.AnalysisError`
+            rather than silently dropping the override (the cache key
+            must describe what the inner evaluator actually computes).
         cache: the :class:`repro.cache.AnalysisCache` table to use
             (default: the process-wide one).
     """
@@ -230,6 +258,22 @@ class CachedEvaluator(Evaluator):
         cache: Optional[AnalysisCache] = None,
         **kwargs,
     ):
+        if inner is not None:
+            conflicts = sorted(
+                name
+                for name in _ENGINE_PARAMS
+                if name in kwargs and kwargs[name] != getattr(inner, name)
+            )
+            if conflicts:
+                raise AnalysisError(
+                    "CachedEvaluator engine parameters conflict with the "
+                    f"inner evaluator's: {', '.join(conflicts)}; the cache "
+                    "key must describe what the inner evaluator computes — "
+                    "drop the overrides or set them on the inner evaluator"
+                )
+            # Adopt the inner backend's engine parameters wholesale.
+            for name in _ENGINE_PARAMS:
+                kwargs[name] = getattr(inner, name)
         super().__init__(**kwargs)
         if inner is None:
             inner = InProcessEvaluator(
@@ -240,14 +284,6 @@ class CachedEvaluator(Evaluator):
                 backend=self.backend,
                 ledger=self.ledger,
             )
-        else:
-            # Mirror the inner backend's engine parameters: the cache key
-            # must describe what the inner evaluator actually computes.
-            self.truncation = inner.truncation
-            self.head_truncation = inner.head_truncation
-            self.substeps = inner.substeps
-            self.normalize = inner.normalize
-            self.backend = inner.backend
         self.inner = inner
         self.cache = cache if cache is not None else analysis_cache()
 
@@ -290,8 +326,9 @@ class CachedEvaluator(Evaluator):
         self.ledger.record_cache_hits(hits)
         fresh: Dict[object, float] = {}
         if missing_points:
-            self.ledger.charge(len(missing_points))
+            self.ledger.precheck(len(missing_points))
             computed = self.inner._compute_points(scenario, missing_points)
+            self.ledger.charge(len(missing_points))
             for key, value in zip(missing_keys, computed):
                 # First writer wins; keep whatever the table now holds so
                 # a racing thread and this one return identical bytes.

@@ -26,9 +26,14 @@ counter                     meaning
                             evaluations)
 ==========================  ==================================================
 
-An optional ``budget`` turns the ledger into a hard stop: a charge that
-would exceed it raises :class:`BudgetExceededError` *before* any work is
-dispatched, so a runaway search cannot silently burn a fleet.
+An optional ``budget`` turns the ledger into a hard stop: evaluators
+call :meth:`EvaluationLedger.precheck` *before* dispatching a batch —
+a batch that would exceed the budget raises
+:class:`BudgetExceededError` before any work starts, so a runaway
+search cannot silently burn a fleet — and :meth:`~EvaluationLedger.charge`
+only *after* the batch computes, so a failed or timed-out dispatch
+(e.g. a fleet round that raises) consumes no budget and inflates no
+counters.
 """
 
 from __future__ import annotations
@@ -70,22 +75,40 @@ class EvaluationLedger:
         if ob.enabled and amount:
             ob.incr(f"adaptive.{name}", amount)
 
-    def charge(self, count: int) -> None:
-        """Spend ``count`` oracle evaluations (one dispatched batch).
+    def precheck(self, count: int) -> None:
+        """Verify ``count`` more evaluations would fit the budget.
+
+        Called before a batch is dispatched; spends nothing.  Pairing
+        this with a post-computation :meth:`charge` keeps both halves of
+        the contract: a budgeted search never starts work it cannot
+        afford, and a dispatch that fails consumes nothing.
 
         Raises:
-            BudgetExceededError: when the charge would cross the budget;
-                nothing is spent in that case.
+            BudgetExceededError: when ``count`` more evaluations would
+                cross the budget.
         """
         if count < 0:
             raise AnalysisError(f"charge must be >= 0, got {count}")
-        if count == 0:
-            return
         if self.budget is not None and self.evaluations + count > self.budget:
             raise BudgetExceededError(
                 f"evaluation budget exhausted: {self.evaluations} spent, "
                 f"{count} more requested, budget {self.budget}"
             )
+
+    def charge(self, count: int) -> None:
+        """Spend ``count`` oracle evaluations (one computed batch).
+
+        Evaluators call this only after the batch has computed; use
+        :meth:`precheck` to refuse an unaffordable batch before
+        dispatching it.
+
+        Raises:
+            BudgetExceededError: when the charge would cross the budget;
+                nothing is spent in that case.
+        """
+        self.precheck(count)
+        if count == 0:
+            return
         self.evaluations += count
         self.batches += 1
         self._mirror("evaluations", count)

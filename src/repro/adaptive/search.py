@@ -13,9 +13,11 @@ approximate**:
   so under monotonicity the answer *is* the dense scan's answer;
 * every evaluated point is checked against the claimed monotonicity.
   If any sampled pair violates it, the search abandons bisection and
-  falls back to a dense scan over the same memoised oracle — counting
-  ``adaptive.fallbacks`` — which reproduces the dense answer by
-  construction.
+  falls back to a dense scan of the **original** search range over the
+  same memoised oracle — counting ``adaptive.fallbacks`` — which
+  reproduces the dense answer by construction.  The original range
+  matters: a violation can surface only after the bracket has narrowed,
+  and a scan of the shrunken bracket could miss the dense answer.
 
 ``tests/integration/test_adaptive_matrix.py`` (the oracle-equivalence
 tier) pins adaptive == dense for every query type on pinned scenarios
@@ -131,18 +133,23 @@ def bisect_first_meeting(
     For a non-decreasing oracle (``direction=+1``).  Both endpoints are
     evaluated up front, so the bracket invariant ``v[lo] < target <=
     v[hi]`` is *verified*, not assumed; every later round re-checks all
-    sampled points and falls back to a dense ascending scan (over the
-    same memo, so already-bought points are free) on any violation.
+    sampled points and falls back to a dense ascending scan on any
+    violation.  The fallback always scans the **original** ``[lo, hi]``
+    (over the same memo, so already-bought points are free): a violation
+    detected after the bracket has narrowed may mean an earlier
+    narrowing step trusted a lie, so the shrunken bracket cannot be
+    assumed to contain the dense answer.
 
     Evaluations: at most ``ceil(log2(hi - lo)) + 2`` with
     ``round_points=1`` (property-tested).
     """
     if lo > hi:
         raise AnalysisError(f"empty search range [{lo}, {hi}]")
+    orig_lo, orig_hi = lo, hi
     ledger.note_bisection()
     v_lo, v_hi = oracle.get([lo, hi])
     if not oracle.consistent():
-        return _dense_first_meeting(oracle, lo, hi, target, ledger)
+        return _dense_first_meeting(oracle, orig_lo, orig_hi, target, ledger)
     if v_lo >= target:
         return lo
     if v_hi < target:
@@ -151,7 +158,9 @@ def bisect_first_meeting(
         mids = _interior_cuts(lo, hi, round_points)
         values = oracle.get(mids)
         if not oracle.consistent():
-            return _dense_first_meeting(oracle, lo, hi, target, ledger)
+            return _dense_first_meeting(
+                oracle, orig_lo, orig_hi, target, ledger
+            )
         for mid, value in zip(mids, values):
             if value >= target:
                 hi = mid
@@ -174,16 +183,19 @@ def bisect_last_meeting(
     the index just before the *first failing* one — ``None`` when the
     first index already fails, ``hi`` when nothing fails.  Under
     monotonicity that is the last meeting index, which this bisection
-    finds; on a sampled violation it falls back to a dense scan applying
-    the first-failing rule literally, so fallback answers match the
-    dense path even on a non-monotone oracle.
+    finds; on a sampled violation it falls back to a dense scan of the
+    **original** ``[lo, hi]`` (not the narrowed bracket — see
+    :func:`bisect_first_meeting`) applying the first-failing rule
+    literally, so fallback answers match the dense path even on a
+    non-monotone oracle.
     """
     if lo > hi:
         raise AnalysisError(f"empty search range [{lo}, {hi}]")
+    orig_lo, orig_hi = lo, hi
     ledger.note_bisection()
     v_lo, v_hi = oracle.get([lo, hi])
     if not oracle.consistent():
-        return _dense_last_meeting(oracle, lo, hi, target, ledger)
+        return _dense_last_meeting(oracle, orig_lo, orig_hi, target, ledger)
     if v_lo < target:
         return None
     if v_hi >= target:
@@ -192,7 +204,9 @@ def bisect_last_meeting(
         mids = _interior_cuts(lo, hi, round_points)
         values = oracle.get(mids)
         if not oracle.consistent():
-            return _dense_last_meeting(oracle, lo, hi, target, ledger)
+            return _dense_last_meeting(
+                oracle, orig_lo, orig_hi, target, ledger
+            )
         for mid, value in zip(mids, values):
             if value < target:
                 hi = mid

@@ -10,7 +10,11 @@ The violation families are built to be detectable by construction: the
 bisections always evaluate both endpoints first and the midpoint next,
 so corrupting exactly those points guarantees the consistency check
 sees the violation (an arbitrary interior corruption may simply never be
-sampled — that is the documented contract, not a bug).
+sampled — that is the documented contract, not a bug).  The
+late-violation families go one step further: the corruption is only
+sampled on the *second* round, after the bracket has already narrowed,
+pinning that the fallback scans the original search range rather than
+the shrunken bracket.
 """
 
 import math
@@ -166,6 +170,66 @@ def test_last_meeting_spike_falls_back_to_dense_rule(values, target):
     )
     assert ledger.fallbacks == 1
     assert got == dense_last_meeting(corrupted, target)
+
+
+@given(
+    values=st.lists(probabilities, min_size=8, max_size=100).map(sorted),
+    fraction=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=150)
+def test_late_violation_fallback_scans_original_range(values, fraction):
+    # Late-violation family: the violation is only sampled on round 2,
+    # after `lo` has already advanced past the dense answer.  Round 1
+    # sees {lo, hi, mid1}, all uncorrupted and consistent, and advances
+    # lo to mid1 (v[mid1] < target by construction); round 2 samples
+    # mid2 = -1.0, a certain violation.  The dense answer is index 1
+    # (spiked above any target, never sampled by bisection), which lies
+    # *outside* the narrowed bracket [mid1, hi] — so this fails against
+    # a fallback that scans the shrunken bracket instead of the
+    # original range.
+    lo, hi = 0, len(values) - 1
+    mid1 = (lo + hi) // 2
+    target = values[mid1] + fraction * (values[hi] - values[mid1])
+    assume(values[mid1] < target <= values[hi])
+    corrupted = list(values)
+    corrupted[1] = 2.0
+    mid2 = mid1 + (hi - mid1) // 2
+    corrupted[mid2] = -1.0
+    ledger = EvaluationLedger()
+    got = bisect_first_meeting(
+        counting_oracle(corrupted, +1, [0]), lo, hi, target, ledger
+    )
+    assert ledger.fallbacks == 1
+    assert got == dense_first_meeting(corrupted, target) == 1
+
+
+@given(
+    values=st.lists(probabilities, min_size=8, max_size=100).map(
+        lambda vs: sorted(vs, reverse=True)
+    ),
+    fraction=st.floats(min_value=0.1, max_value=0.9),
+)
+@settings(max_examples=150)
+def test_late_violation_last_meeting_scans_original_range(values, fraction):
+    # Mirror family for the non-increasing search: round 1 advances lo
+    # to mid1 (v[mid1] >= target), round 2 samples the 2.0 spike at
+    # mid2 — only then is the violation visible.  The dense rule's
+    # first-failing index is 1 (dropped below any target, never sampled
+    # by bisection), so the dense answer is 0, outside [mid1, hi].
+    lo, hi = 0, len(values) - 1
+    mid1 = (lo + hi) // 2
+    target = values[hi] + fraction * (values[mid1] - values[hi])
+    assume(values[hi] < target <= values[mid1])
+    corrupted = list(values)
+    corrupted[1] = -1.0
+    mid2 = mid1 + (hi - mid1) // 2
+    corrupted[mid2] = 2.0
+    ledger = EvaluationLedger()
+    got = bisect_last_meeting(
+        counting_oracle(corrupted, -1, [0]), lo, hi, target, ledger
+    )
+    assert ledger.fallbacks == 1
+    assert got == dense_last_meeting(corrupted, target) == 0
 
 
 @given(

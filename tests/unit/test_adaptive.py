@@ -10,6 +10,7 @@ from repro.adaptive import (
     BudgetExceededError,
     CachedEvaluator,
     EvaluationLedger,
+    Evaluator,
     InProcessEvaluator,
     MonotoneOracle,
     adaptive_design_slice,
@@ -35,6 +36,17 @@ def oracle_from(values, direction, counter=None):
         return [values[i] for i in indexes]
 
     return MonotoneOracle(batch, direction)
+
+
+class ExplodingEvaluator(Evaluator):
+    """An evaluator whose every dispatch fails (a lost fleet round).
+
+    Subclasses the seam base directly so both ``evaluate`` and ``grid``
+    route through the failing ``_compute_points`` hook.
+    """
+
+    def _compute_points(self, scenario, points):
+        raise RuntimeError("dispatch lost")
 
 
 class TestLedger:
@@ -147,6 +159,35 @@ class TestBisectionCores:
         assert ledger.fallbacks == 1
         assert got == 0  # dense scan: first index with value >= 0.5
 
+    def test_late_violation_fallback_scans_original_range(self):
+        # Regression: with lo=0, hi=7 the rounds sample 0, 7, then 3
+        # (consistent: 0.1 <= 0.2 <= 0.8, so lo advances to 3), then 5
+        # where v=0.05 < v[3] finally reveals the violation.  The dense
+        # answer is index 1 (0.9, never sampled by bisection) — outside
+        # the narrowed bracket [3, 7], so a fallback scanning the
+        # shrunken bracket would wrongly return 6.
+        values = [0.1, 0.9, 0.15, 0.2, 0.25, 0.05, 0.6, 0.8]
+        ledger = EvaluationLedger()
+        got = bisect_first_meeting(
+            oracle_from(values, +1), 0, len(values) - 1, 0.5, ledger
+        )
+        assert ledger.fallbacks == 1
+        assert got == 1
+
+    def test_late_violation_last_meeting_scans_original_range(self):
+        # Mirror case for the non-increasing search: rounds sample 0, 7,
+        # then 3 (consistent: 0.9 >= 0.7 >= 0.1, lo advances to 3), then
+        # 5 where v=0.95 > v[3] reveals the violation.  The dense rule's
+        # first failing index is 1 (0.05), so the answer is 0 — outside
+        # the narrowed bracket [3, 7].
+        values = [0.9, 0.05, 0.8, 0.7, 0.6, 0.95, 0.3, 0.1]
+        ledger = EvaluationLedger()
+        got = bisect_last_meeting(
+            oracle_from(values, -1), 0, len(values) - 1, 0.5, ledger
+        )
+        assert ledger.fallbacks == 1
+        assert got == 0
+
     def test_round_points_sections_cut_rounds(self):
         values = list(np.linspace(0.0, 1.0, 82))
         counter = [0]
@@ -221,6 +262,54 @@ class TestEvaluators:
             adaptive_minimum_sensors(
                 small, 0.5, max_sensors=64, evaluator=evaluator
             )
+
+    def test_inner_param_conflict_rejected(self):
+        # An explicit engine kwarg that disagrees with a provided inner
+        # evaluator must raise, not be silently overwritten.
+        inner = InProcessEvaluator(truncation=2, substeps=2)
+        with pytest.raises(AnalysisError, match="truncation"):
+            CachedEvaluator(inner=inner, truncation=3)
+        with pytest.raises(AnalysisError, match="normalize"):
+            CachedEvaluator(inner=inner, normalize=False)
+        # Matching explicit kwargs are fine, and the inner evaluator's
+        # parameters are adopted wholesale either way.
+        cached = CachedEvaluator(inner=inner, truncation=2)
+        assert cached.truncation == 2
+        assert cached.substeps == 2
+
+    def test_failed_dispatch_charges_nothing(self, small):
+        # A dispatch that raises must not consume budget or inflate the
+        # evaluation counters — neither on the ledger nor in obs.
+        ledger = EvaluationLedger(budget=10)
+        evaluator = ExplodingEvaluator(ledger=ledger)
+        instrumentation = obs.Instrumentation()
+        with obs.activate(instrumentation):
+            with pytest.raises(RuntimeError):
+                evaluator.evaluate(small, [{"threshold": 2}])
+            with pytest.raises(RuntimeError):
+                evaluator.grid(small, thresholds=[1, 2])
+        assert ledger.evaluations == 0
+        assert ledger.batches == 0
+        assert ledger.remaining() == 10
+        counters = instrumentation.manifest()["counters"]
+        assert "adaptive.evaluations" not in counters
+
+    def test_failed_inner_dispatch_charges_nothing_when_cached(self, small):
+        clear_analysis_cache()
+        cached = CachedEvaluator(inner=ExplodingEvaluator())
+        with pytest.raises(RuntimeError):
+            cached.evaluate(small, [{"threshold": 2}])
+        assert cached.ledger.evaluations == 0
+        # The failed point was never stored: a retry is a miss, not a hit.
+        assert cached.ledger.cache_hits == 0
+
+    def test_budget_still_refuses_before_dispatch(self, small):
+        # The budget check runs before the batch is dispatched: an
+        # unaffordable batch raises BudgetExceededError, not the
+        # evaluator's own dispatch error.
+        evaluator = ExplodingEvaluator(ledger=EvaluationLedger(budget=1))
+        with pytest.raises(BudgetExceededError):
+            evaluator.evaluate(small, [{"threshold": 1}, {"threshold": 2}])
 
 
 class TestAdaptiveQueries:
